@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+Every benchmark regenerates one paper artifact (figure or quantitative
+claim; see DESIGN.md's experiment index) and prints the resulting table
+so `pytest benchmarks/ --benchmark-only -s` reproduces the
+EXPERIMENTS.md numbers.  The pytest-benchmark fixture times the
+regeneration itself.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,56 @@
+"""Ablation: each clause of predicate J is load-bearing.
+
+DESIGN.md calls out the delivery predicate as the core design choice;
+this bench removes each clause and quantifies the damage, with the full
+predicate as control.
+"""
+
+from __future__ import annotations
+
+from repro import DSMSystem
+from repro.baselines.ablations import (
+    lax_sender_factory,
+    no_third_party_factory,
+)
+from repro.harness import Table
+from repro.network.delays import UniformDelay
+from repro.workloads import fig5_placements, run_workload, uniform_writes
+
+
+def _violations(policy_factory, seeds):
+    total = 0
+    for seed in seeds:
+        system = DSMSystem(
+            fig5_placements(),
+            policy_factory=policy_factory,
+            seed=seed,
+            delay_model=UniformDelay(0.1, 15.0),  # heavy reordering
+        )
+        stream = uniform_writes(system.graph, 250, rate=5.0, seed=seed + 50)
+        run_workload(system, stream)
+        total += len(system.check().safety)
+    return total
+
+
+def test_predicate_ablation(benchmark):
+    seeds = list(range(5))
+
+    def run_all():
+        return {
+            "full predicate (control)": _violations(None, seeds),
+            "no third-party clause": _violations(no_third_party_factory, seeds),
+            "no sender-gap clause": _violations(lax_sender_factory, seeds),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        "predicate-J ablation (5 seeds x 250 writes, heavy reordering)",
+        ["variant", "safety violations"],
+    )
+    for name, count in results.items():
+        table.add_row(name, count)
+    print()
+    print(table)
+    assert results["full predicate (control)"] == 0
+    assert results["no third-party clause"] > 0
+    assert results["no sender-gap clause"] > 0

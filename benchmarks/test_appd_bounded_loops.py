@@ -1,0 +1,53 @@
+"""E11 / Appendix D: bounded loop tracking vs loose synchrony."""
+
+from __future__ import annotations
+
+from repro import DSMSystem, ShareGraph
+from repro.harness import Table
+from repro.harness import experiments as E
+from repro.optimizations import bounded_policy_factory
+from repro.workloads import ring_placements
+
+
+def test_bounded_loops_sweep(benchmark):
+    table = benchmark(E.e11_bounded_loops)
+    print()
+    print(table)
+    rows = list(
+        zip(
+            table.column("loop cap"),
+            table.column("mean |E_i|"),
+            table.column("delay model"),
+            table.column("safety violations"),
+        )
+    )
+    # Exact tracking never violates, regardless of the delay model.
+    for cap, _, _, violations in rows:
+        if cap == "exact":
+            assert violations == "0"
+    # Capped tracking is cheaper than exact.
+    exact_size = float(rows[0][1])
+    capped_sizes = [float(r[1]) for r in rows if r[0] != "exact"]
+    assert all(s < exact_size for s in capped_sizes)
+
+
+def test_adversarial_race_quantifies_the_risk(benchmark):
+    """The deterministic Theorem 8 race: capped policy violates, exact
+    policy does not -- this is the crossover the cap buys into."""
+
+    def race():
+        capped = E.e11_adversarial_race(bounded_cap=3)
+        exact = E.e11_adversarial_race(bounded_cap=None)
+        return capped.check(), exact.check()
+
+    capped_result, exact_result = benchmark(race)
+    table = Table(
+        "E11b: adversarial chain race on ring-8",
+        ["policy", "safety violations"],
+    )
+    table.add_row("capped (l=3)", len(capped_result.safety))
+    table.add_row("exact", len(exact_result.safety))
+    print()
+    print(table)
+    assert len(capped_result.safety) >= 1
+    assert exact_result.ok

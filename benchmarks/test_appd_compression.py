@@ -1,0 +1,52 @@
+"""E8 / Appendix D: timestamp compression."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_compression(benchmark):
+    table = benchmark(E.e8_compression)
+    print()
+    print(table)
+    ratios = {
+        name: float(ratio)
+        for name, ratio in zip(table.column("placement"), table.column("ratio"))
+    }
+    assert all(r <= 1.0 for r in ratios.values())
+    # The paper's Appendix D example compresses (four dependent edges at
+    # the hub -> three counters), and cliques compress hardest.
+    assert ratios["appendix-D example"] < 1.0
+    assert ratios["clique-8"] < ratios["clique-4"] < 1.0
+
+
+def test_wire_bytes(benchmark):
+    """E8b: varint-encoded metadata bytes actually sent during runs.
+
+    Compression pays off where counter blocks are large (full
+    replication: >50% saving); the per-block flag overhead can exceed the
+    gain on sparse placements -- the honest fine print of Appendix D.
+    """
+    table = benchmark.pedantic(E.e8b_wire_bytes, rounds=1, iterations=1)
+    print()
+    print(table)
+    rows = {
+        (p, pol): float(s)
+        for p, pol, s in zip(
+            table.column("placement"),
+            table.column("policy"),
+            table.column("saving"),
+        )
+    }
+    assert rows[("clique-6", "ours")] > 0.5
+    raw = {
+        (p, pol): int(b)
+        for p, pol, b in zip(
+            table.column("placement"),
+            table.column("policy"),
+            table.column("raw bytes"),
+        )
+    }
+    # Ours never sends more metadata bytes than Full-Track.
+    for placement in ("fig5", "clique-6", "random-8-f3"):
+        assert raw[(placement, "ours")] <= raw[(placement, "full-track")]

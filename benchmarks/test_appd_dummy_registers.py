@@ -1,0 +1,18 @@
+"""E9 / Appendix D: the dummy-register trade-off sweep."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_dummy_registers(benchmark):
+    table = benchmark(E.e9_dummy_registers)
+    print()
+    print(table)
+    assert all(v == "True" for v in table.column("consistent"))
+    messages = [int(v) for v in table.column("messages")]
+    false_deps = [int(v) for v in table.column("false deps")]
+    # The paper's predicted monotone trade-off: more dummies -> more
+    # messages and more false dependencies.
+    assert messages[0] < messages[1] <= messages[2]
+    assert false_deps[0] == 0 < false_deps[1] <= false_deps[2]

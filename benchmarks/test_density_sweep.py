@@ -1,0 +1,56 @@
+"""Structure study: tracking fraction vs replication factor.
+
+Quantifies the introduction's trade-off as a single curve: with factor 1
+(no sharing) nothing is tracked; as the replication factor grows, the
+share graph densifies and each replica's tracked fraction climbs toward
+the full-replication value of 1.0.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import density_sweep, loop_length_histogram, tracking_fraction
+from repro import ShareGraph
+from repro.workloads import clique_placements, line_placements, ring_placements
+
+
+def test_density_sweep(benchmark):
+    table = benchmark.pedantic(
+        density_sweep, kwargs=dict(n=8, registers=12), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    fractions = [float(v) for v in table.column("mean fraction")]
+    # Monotone-ish climb toward full tracking; endpoints are exact.
+    assert fractions[0] == 0.0  # factor 1: no sharing at all
+    assert fractions[-1] == 1.0  # factor R: everyone shares everything
+    assert fractions[1] < fractions[-1]
+    compressed = [float(v) for v in table.column("compressed")]
+    counters = [float(v) for v in table.column("mean counters")]
+    assert all(c <= raw for c, raw in zip(compressed, counters))
+
+
+def test_structural_extremes(benchmark):
+    def extremes():
+        return {
+            "line": tracking_fraction(ShareGraph(line_placements(8))),
+            "ring": tracking_fraction(ShareGraph(ring_placements(8))),
+            "clique": tracking_fraction(ShareGraph(clique_placements(8))),
+        }
+
+    results = benchmark(extremes)
+    print()
+    for name, fractions in results.items():
+        mean = sum(fractions.values()) / len(fractions)
+        print(f"  {name}: mean tracking fraction {mean:.3f}")
+    assert all(v == 1.0 for v in results["ring"].values())
+    assert all(v == 1.0 for v in results["clique"].values())
+    assert all(v < 0.5 for v in results["line"].values())
+
+
+def test_loop_length_histogram_ring(benchmark):
+    graph = ShareGraph(ring_placements(7))
+    histogram = benchmark(loop_length_histogram, graph, 1)
+    print()
+    print(f"  ring-7 witness loop lengths at replica 1: {histogram}")
+    # Every loop edge's witness is the full 7-cycle.
+    assert histogram == {7: 10}

@@ -1,0 +1,21 @@
+"""E1 / Figure 3: the 4-replica share-graph example."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_fig3_share_graph(benchmark):
+    table = benchmark(E.e1_fig3_share_graph)
+    print()
+    print(table)
+    edges = dict(zip(table.column("pair"), table.column("edge?")))
+    # The paper's example: edges 1-2 (x), 2-3 (y), 3-4 (z); nothing else.
+    assert edges == {
+        "1-2": "True",
+        "2-3": "True",
+        "3-4": "True",
+        "1-3": "False",
+        "1-4": "False",
+        "2-4": "False",
+    }

@@ -1,0 +1,19 @@
+"""E2 / Figure 5: timestamp graphs of the running example."""
+
+from __future__ import annotations
+
+from repro import ShareGraph, all_timestamp_graphs
+from repro.harness import experiments as E
+from repro.workloads import fig5_placements
+
+
+def test_fig5_timestamp_graphs(benchmark):
+    table = benchmark(E.e2_fig5_timestamp_graph)
+    print()
+    print(table)
+    graphs = all_timestamp_graphs(ShareGraph(fig5_placements()))
+    # Figure 5b's headline asymmetry at replica 1.
+    assert (4, 3) in graphs[1].edges
+    assert (3, 4) not in graphs[1].edges
+    assert (3, 2) in graphs[1].edges
+    assert (2, 3) not in graphs[1].edges

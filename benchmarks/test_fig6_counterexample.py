@@ -1,0 +1,21 @@
+"""E3 / Figures 6, 8a, 9: the Helary-Milani counter-example."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_fig6_hoop_vs_theorem8(benchmark):
+    claims, fig9 = benchmark(E.e3_fig6_counterexample)
+    print()
+    print(claims)
+    print(fig9)
+    # Definition 18 demands tracking; Theorem 8 does not.
+    assert claims.column("requires i to track x-updates?") == ["True", "False"]
+    # Figure 9 covers all 7 replicas.
+    assert len(fig9.rows) == 7
+
+
+def test_fig6_protocol_consistent_without_tracking(benchmark):
+    summary = benchmark(E.e3_counterexample_run)
+    assert summary.ok, str(summary.check)

@@ -1,0 +1,13 @@
+"""E4 / Figure 8b: the modified minimal-hoop condition is insufficient."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_fig8b_modified_hoop(benchmark):
+    table = benchmark(E.e4_fig8b_modified_hoop)
+    print()
+    print(table)
+    # Definition 20 says "no need to track e_kj"; Theorem 8 requires it.
+    assert table.column("requires i to track e_kj?") == ["False", "True"]

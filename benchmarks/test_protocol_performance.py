@@ -1,0 +1,102 @@
+"""E14: protocol cost profile and raw simulator throughput."""
+
+from __future__ import annotations
+
+from repro import DSMSystem
+from repro.harness import experiments as E
+from repro.workloads import (
+    fig5_placements,
+    random_placements,
+    run_workload,
+    uniform_writes,
+)
+
+
+def test_protocol_cost_profile(benchmark):
+    table = benchmark(E.e14_protocol_costs)
+    print()
+    print(table)
+    assert all(v == "True" for v in table.column("consistent"))
+    by_name = dict(zip(table.column("topology"), table.column("msgs/update")))
+    # Full replication multicasts to everyone: the highest fan-out.
+    assert float(by_name["clique-6"]) == max(
+        float(v) for v in by_name.values()
+    )
+
+
+def test_stability_latency_profile(benchmark):
+    """E14b: stability latency (issue -> last relevant apply) per topology.
+
+    Partial replication stabilizes updates faster than full replication
+    because fewer replicas must receive each update.
+    """
+    from repro.analysis import stability_report
+    from repro.harness import Table
+    from repro.network.delays import UniformDelay
+    from repro.workloads import clique_placements, line_placements, ring_placements
+
+    def profile():
+        table = Table(
+            "E14b: stability latency per topology (250 writes)",
+            ["topology", "mean", "p90", "max"],
+        )
+        for name, placements in [
+            ("line-6", line_placements(6)),
+            ("ring-6", ring_placements(6)),
+            ("clique-6 (full repl.)", clique_placements(6)),
+        ]:
+            system = DSMSystem(
+                placements, seed=61, delay_model=UniformDelay(1.0, 10.0)
+            )
+            stream = uniform_writes(system.graph, 250, seed=62)
+            run_workload(system, stream)
+            assert system.check().ok
+            report = stability_report(system.history, system.graph)
+            table.add_row(
+                name, report.mean, report.percentile(0.9), report.max
+            )
+        return table
+
+    table = benchmark.pedantic(profile, rounds=1, iterations=1)
+    print()
+    print(table)
+    means = [float(v) for v in table.column("mean")]
+    assert means[0] < means[-1]  # partial beats full replication
+
+
+def test_throughput_fig5(benchmark):
+    """Raw end-to-end simulation throughput on the paper's example."""
+
+    def run():
+        system = DSMSystem(fig5_placements(), seed=3)
+        stream = uniform_writes(system.graph, 500, seed=4, rate=10.0)
+        run_workload(system, stream)
+        assert system.check().ok
+        return system
+
+    system = benchmark(run)
+    metrics = system.metrics()
+    print()
+    print(
+        f"\n500 writes -> {metrics.messages_sent} messages, "
+        f"{len(system.history)} history events"
+    )
+
+
+def test_throughput_large_random(benchmark):
+    """A larger partially replicated system under load."""
+
+    def run():
+        system = DSMSystem(random_placements(12, 20, 3, seed=5), seed=6)
+        stream = uniform_writes(system.graph, 1000, seed=7, rate=20.0)
+        run_workload(system, stream)
+        assert system.check().ok
+        return system
+
+    system = benchmark.pedantic(run, rounds=3, iterations=1)
+    metrics = system.metrics()
+    print()
+    print(
+        f"\n1000 writes on 12 replicas -> {metrics.messages_sent} messages, "
+        f"mean apply delay {metrics.mean_apply_delay:.4f}"
+    )

@@ -1,0 +1,14 @@
+"""E13 / Section 2.2: causal multicast with overlapping groups."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_overlapping_group_multicast(benchmark):
+    table = benchmark(E.e13_multicast)
+    print()
+    print(table)
+    assert all(v == "True" for v in table.column("causal delivery OK"))
+    # Every process delivered something.
+    assert all(int(v) > 0 for v in table.column("delivered"))

@@ -1,0 +1,12 @@
+"""E5 / Section 4: closed-form lower bounds are tight for the algorithm."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_closed_form_bounds_tight(benchmark):
+    table = benchmark(E.e5_closed_form_bounds)
+    print()
+    print(table)
+    assert all(cell == "True" for cell in table.column("tight"))

@@ -1,0 +1,31 @@
+"""E12 / Section 6: the client-server architecture."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_augmented_timestamp_graphs(benchmark):
+    table = benchmark(E.e12_client_server)
+    print()
+    print(table)
+    for plain, augmented in zip(
+        table.column("plain |E_i|"), table.column("augmented |E^_i|")
+    ):
+        assert int(augmented) >= int(plain)
+    # Client bridging must add edges somewhere.
+    assert any(
+        int(a) > int(p)
+        for p, a in zip(
+            table.column("plain |E_i|"), table.column("augmented |E^_i|")
+        )
+    )
+
+
+def test_client_server_protocol_run(benchmark):
+    system = benchmark(E.e12_client_server_run)
+    assert system.all_clients_done()
+    result = system.check()
+    print()
+    print(f"client-server run: {result}")
+    assert result.ok, str(result)

@@ -1,0 +1,44 @@
+"""E6 / Theorem 15: conflict-graph bounds on tiny share graphs."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_conflict_graph_bounds(benchmark):
+    table = benchmark(E.e6_conflict_graph_bounds)
+    print()
+    print(table)
+    # The clique lower bound matches the closed-form prediction in every
+    # case, and greedy coloring certifies chi exactly (LB == UB).
+    for lb, ub, predicted in zip(
+        table.column("clique LB"),
+        table.column("greedy UB"),
+        table.column("predicted"),
+    ):
+        assert lb == predicted
+        assert lb == ub
+
+
+def test_empirical_timestamp_usage_matches_bound(benchmark):
+    """E6b: the algorithm's exhaustively-measured timestamp usage equals
+    the counter-space information content ((m+1)^{2 N_i}) on a 3-path --
+    the measured side of Theorem 15's tightness claim."""
+    from repro import ShareGraph
+    from repro.lowerbound.space import measure_timestamp_space
+    from repro.workloads import line_placements
+
+    graph = ShareGraph(line_placements(3))
+
+    def measure():
+        return (
+            measure_timestamp_space(graph, 2, m=1),
+            measure_timestamp_space(graph, 1, m=1),
+        )
+
+    middle, leaf = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"  {middle}")
+    print(f"  {leaf}")
+    assert middle.distinct_timestamps == 2 ** 4  # (m+1)^(2*N_i), N_i=2
+    assert leaf.distinct_timestamps == 2 ** 2  # N_i=1

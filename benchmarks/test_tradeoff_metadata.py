@@ -1,0 +1,52 @@
+"""E7: the flexibility-vs-metadata trade-off (Section 1)."""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_metadata_tradeoff(benchmark):
+    table = benchmark(E.e7_metadata_tradeoff)
+    print()
+    print(table)
+    rows = list(
+        zip(
+            table.column("family"),
+            table.column("ours-max"),
+            table.column("comp-max"),
+            table.column("full-track"),
+            table.column("VC"),
+        )
+    )
+    for family, ours, comp, full_track, vc in rows:
+        # Ours never exceeds Full-Track; compression never grows.
+        assert float(ours) <= float(full_track)
+        assert float(comp) <= float(ours)
+        # On cliques, compression reaches the vector-clock line exactly.
+        if family == "clique":
+            assert float(comp) == float(vc)
+    # On trees (lines), ours is strictly below Full-Track beyond R=4.
+    line_rows = [r for r in rows if r[0] == "line"]
+    assert all(float(o) < float(ft) for _, o, _, ft, _ in line_rows[1:])
+
+
+def test_hoop_comparison(benchmark):
+    table = benchmark(E.e7_hoop_comparison)
+    print()
+    print(table)
+    by_key = {
+        (p, r): (int(ours), int(hoop), int(mod))
+        for p, r, ours, hoop, mod in zip(
+            table.column("placement"),
+            table.column("replica"),
+            table.column("ours |E_i|"),
+            table.column("hoop edges"),
+            table.column("hoop-modified"),
+        )
+    }
+    # Fig 6: hoop condition over-tracks at replica i (Section 3.2).
+    ours, hoop, _ = by_key[("fig6", "i")]
+    assert hoop > ours
+    # Fig 8b: the modified condition under-tracks at replica i (App. A).
+    ours8, _, mod8 = by_key[("fig8b", "i")]
+    assert mod8 < ours8

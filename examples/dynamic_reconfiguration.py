@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Dynamic replication: the paper's future work, made concrete.
+
+A team's document registers start on two replicas; as readers appear in
+new regions, copies are added (state transfer + metadata growth); when a
+region is decommissioned, its copies are dropped and the timestamps
+shrink back.  Every epoch's traffic is verified end to end.
+
+Run with::
+
+    python examples/dynamic_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from repro.dynamic import ReconfigurableDSMSystem
+from repro.harness import Table
+from repro.network.delays import UniformDelay
+from repro.workloads import uniform_writes
+
+
+def drive(system, writes, seed):
+    stream = uniform_writes(system.graph, writes, seed=seed)
+    for op in stream:
+        system.simulator.schedule(
+            op.time, system.replica(op.replica).write, op.register, op.value
+        )
+    system.run()
+
+
+def counters_row(system):
+    return {
+        rid: replica.policy.counters()
+        for rid, replica in sorted(system.replicas.items())
+    }
+
+
+def main() -> None:
+    placements = {
+        "us": {"doc", "us-notes"},
+        "eu": {"doc", "eu-notes"},
+        "ap": {"ap-notes"},
+    }
+    system = ReconfigurableDSMSystem(
+        placements, seed=5, delay_model=UniformDelay(0.5, 6.0)
+    )
+    table = Table(
+        "metadata across epochs",
+        ["epoch", "event", "us", "eu", "ap"],
+    )
+
+    def snapshot(event):
+        row = counters_row(system)
+        table.add_row(system.epoch, event, row["us"], row["eu"], row["ap"])
+
+    snapshot("initial: doc on us+eu")
+    drive(system, 60, seed=6)
+    system.client("us").write("doc", "v1-from-us")
+    system.run()
+
+    # ap starts serving readers of doc: add a copy (state transfer).
+    system.reconfigure(add={"ap": {"doc"}})
+    snapshot("ap gains doc (state transfer)")
+    assert system.client("ap").read("doc") == "v1-from-us"
+    drive(system, 60, seed=7)
+
+    # eu also picks up ap-notes: the share graph becomes a triangle, so
+    # every replica now tracks loop edges.
+    system.reconfigure(add={"eu": {"ap-notes"}})
+    snapshot("eu gains ap-notes (triangle)")
+    drive(system, 60, seed=8)
+
+    # ap is decommissioned for doc.
+    system.reconfigure(remove={"ap": {"doc"}})
+    snapshot("ap drops doc")
+    drive(system, 60, seed=9)
+
+    print(table)
+    result = system.check()
+    print(f"multi-epoch checker: {result}")
+    result.raise_on_violation()
+    print(
+        "\nTakeaway: placements can change at quiescent barriers -- counters "
+        "are re-seeded authoritatively and state is transferred -- while "
+        "replica-centric causal consistency holds across all epochs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Geo-replication: the storage/metadata trade-off of the introduction.
+
+A key-value service spans 8 datacenters.  Full replication stores every
+key everywhere (classic vector clocks, cheap metadata, expensive
+storage); partial replication stores each key at 2-3 sites (cheap
+storage) but needs the paper's edge-indexed timestamps to stay causally
+consistent.  This example quantifies both sides of the trade-off on the
+same workload.
+
+Run with::
+
+    python examples/geo_replication.py
+"""
+
+from __future__ import annotations
+
+from repro import DSMSystem, ShareGraph, all_timestamp_graphs
+from repro.baselines import VectorClockPolicy
+from repro.harness import Table
+from repro.network.delays import ExponentialDelay
+from repro.optimizations import compressed_length
+from repro.workloads import (
+    clique_placements,
+    random_placements,
+    run_workload,
+    uniform_writes,
+)
+
+
+def run_variant(name, placements, policy_factory=None, seed=99):
+    system = DSMSystem(
+        placements,
+        policy_factory=policy_factory,
+        seed=seed,
+        delay_model=ExponentialDelay(mean=15.0, base=2.0),  # WAN-ish
+    )
+    stream = uniform_writes(system.graph, 400, seed=seed + 1, rate=4.0)
+    run_workload(system, stream)
+    result = system.check()
+    result.raise_on_violation()
+    metrics = system.metrics()
+    storage = sum(
+        len(system.graph.registers_at(r)) for r in system.graph.replicas
+    )
+    counters = list(metrics.timestamp_counters.values())
+    return {
+        "name": name,
+        "storage": storage,
+        "counters_max": max(counters),
+        "messages": metrics.messages_sent,
+        "delay": metrics.mean_apply_delay,
+    }
+
+
+def main() -> None:
+    n_sites, n_keys = 8, 24
+
+    variants = []
+
+    # Full replication + classic vector clocks.
+    full = clique_placements(n_sites, registers=n_keys)
+    variants.append(
+        run_variant(
+            "full replication + VC",
+            full,
+            policy_factory=lambda g, r: VectorClockPolicy(g, r),
+        )
+    )
+
+    # Partial replication at factors 2 and 3 with our algorithm.
+    for factor in (2, 3):
+        placements = random_placements(n_sites, n_keys, factor, seed=factor)
+        variants.append(
+            run_variant(f"partial f={factor} + edge-indexed", placements)
+        )
+
+    table = Table(
+        "geo-replication trade-off (8 sites, 24 keys, 400 writes)",
+        ["variant", "stored copies", "max counters", "messages", "mean delay"],
+    )
+    for v in variants:
+        table.add_row(
+            v["name"], v["storage"], v["counters_max"], v["messages"], v["delay"]
+        )
+    print(table)
+
+    # Compression narrows the metadata gap further.
+    placements = random_placements(n_sites, n_keys, 3, seed=3)
+    graph = ShareGraph(placements)
+    tgs = all_timestamp_graphs(graph)
+    print("Appendix D compression on the f=3 placement:")
+    for r in graph.replicas:
+        comp, raw = compressed_length(graph, r, tgs[r].edges)
+        print(f"  site {r}: {raw} -> {comp} counters")
+
+    print(
+        "\nTakeaway: partial replication cuts stored copies by "
+        f"{variants[0]['storage'] / variants[1]['storage']:.1f}x while the "
+        "edge-indexed timestamps keep causal consistency; the metadata "
+        "premium over vector clocks is the price of that flexibility "
+        "(Sections 1 and 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Causal multicast with overlapping groups (Section 2.2) as a chat app.
+
+Channels are multicast groups; members overlap.  Causal delivery means a
+reply is never delivered before the message it answers -- even across
+channels, when the replier saw the original in another channel.
+
+Run with::
+
+    python examples/multicast_chat.py
+"""
+
+from __future__ import annotations
+
+from repro.multicast import CausalGroupMulticast
+from repro.network.delays import UniformDelay
+
+
+def main() -> None:
+    channels = {
+        "#general": {"ann", "bob", "cho", "dee"},
+        "#dev": {"bob", "cho"},
+        "#ops": {"cho", "dee", "ann"},
+    }
+    chat = CausalGroupMulticast(
+        channels, seed=8, delay_model=UniformDelay(1.0, 25.0)
+    )
+
+    # ann posts in #general; bob, who read it, replies in #dev; cho, who
+    # read the reply, escalates in #ops.  Three causally chained messages
+    # across three different (overlapping) groups.
+    chat.schedule_multicast(0.0, "ann", "#general", "deploy at noon?")
+    chat.schedule_multicast(40.0, "bob", "#dev", "re: deploy -- tests green")
+    chat.schedule_multicast(80.0, "cho", "#ops", "re: re: deploy -- go")
+    # Plus background chatter.
+    for n in range(30):
+        sender = ("ann", "bob", "cho", "dee")[n % 4]
+        channel = next(
+            c for c, members in channels.items() if sender in members
+        )
+        chat.schedule_multicast(100.0 + 2.0 * n, sender, channel, f"chatter {n}")
+    chat.run()
+
+    result = chat.check()
+    print(f"causal delivery check: {result}")
+    result.raise_on_violation()
+
+    print("\ncho's view (member of all three channels):")
+    for d in chat.deliveries_at("cho")[:6]:
+        print(f"  [{d.group}] {d.sender}: {d.payload}")
+
+    # The chained messages are causally ordered in every common member's
+    # delivery sequence.
+    h = chat.system.history
+    uids = h.all_updates()[:3]
+    assert h.happened_before(uids[0], uids[1])
+    assert h.happened_before(uids[1], uids[2])
+    print(
+        "\nmetadata per process (edge-indexed, minimal for this overlap "
+        f"structure): {chat.metadata_counters()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: a partially replicated causally consistent shared memory.
+
+Builds the paper's running example (Figure 5), inspects the timestamp
+graphs that make partial replication work, performs some causally related
+writes, and verifies the run with the independent checker.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DSMSystem, ShareGraph, all_timestamp_graphs
+from repro.network.delays import UniformDelay
+from repro.workloads import fig5_placements
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Describe the placement: which replica stores which registers.
+    # ------------------------------------------------------------------
+    placements = fig5_placements()
+    print("Placement (Figure 5a):")
+    for replica, registers in sorted(placements.items()):
+        print(f"  replica {replica}: {sorted(registers)}")
+
+    # ------------------------------------------------------------------
+    # 2. The metadata the algorithm derives: timestamp graphs.
+    # ------------------------------------------------------------------
+    graph = ShareGraph(placements)
+    print("\nTimestamp graphs (Definition 5):")
+    for replica, tg in sorted(all_timestamp_graphs(graph).items()):
+        print(f"  {tg}")
+    print(
+        "\nNote the asymmetry: replica 1 tracks e(4,3) but not e(3,4) --\n"
+        "only one direction closes a dependency-carrying loop through 1."
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Run the protocol over a non-FIFO network.
+    # ------------------------------------------------------------------
+    system = DSMSystem(graph, seed=7, delay_model=UniformDelay(0.5, 5.0))
+
+    system.client(3).write("x", "draft-v1")
+    system.run()  # deliver everywhere
+
+    # Replica 2 reads x, then writes y: a causal chain across registers.
+    seen = system.client(2).read("x")
+    system.client(2).write("y", f"review of {seen}")
+    system.run()
+
+    print(f"\nreplica 4 reads y -> {system.client(4).read('y')!r}")
+    print(f"replica 1 reads y -> {system.client(1).read('y')!r}")
+
+    # ------------------------------------------------------------------
+    # 4. Verify replica-centric causal consistency (Definition 2).
+    # ------------------------------------------------------------------
+    result = system.check()
+    print(f"\nchecker: {result}")
+    result.raise_on_violation()
+
+    metrics = system.metrics()
+    print(
+        f"metadata: {metrics.timestamp_counters} counters per replica "
+        f"(vs {len(graph.edges)} for naive full-track)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro: partially replicated causally consistent shared memory.
+
+A faithful, executable reproduction of Xiang & Vaidya, "Partially
+Replicated Causally Consistent Shared Memory" (PODC 2018 brief
+announcement; full version with lower bounds and the edge-indexed
+algorithm).
+
+Quickstart::
+
+    from repro import DSMSystem
+
+    system = DSMSystem({1: {"x"}, 2: {"x", "y"}, 3: {"y"}}, seed=7)
+    system.client(1).write("x", 41)
+    system.run()
+    assert system.client(2).read("x") == 41
+    assert system.check().ok
+
+Package map
+-----------
+``repro.core``
+    Share graphs, (i, e_jk)-loops, timestamp graphs, the edge-indexed
+    timestamp algorithm, the replica prototype, and the peer-to-peer DSM.
+``repro.checker``
+    Independent verification of replica-centric causal consistency.
+``repro.lowerbound``
+    Conflict graphs and closed-form timestamp-size lower bounds (Sec. 4).
+``repro.optimizations``
+    Compression, dummy registers, virtual registers, bounded loops (App. D).
+``repro.clientserver``
+    The client-server architecture (Sec. 6 / App. E).
+``repro.multicast``
+    Causal group multicast with overlapping groups (Sec. 2.2).
+``repro.baselines``
+    Vector clocks (full replication), Full-Track, Hoop-Track.
+``repro.workloads`` / ``repro.harness``
+    Topology and operation generators; experiment sweeps and reporting.
+"""
+
+from repro.checker import CheckResult, check_history
+from repro.core.causality import History
+from repro.core.loops import Loop, LoopFinder, is_i_ejk_loop
+from repro.core.replica import Replica
+from repro.core.share_graph import ShareGraph
+from repro.core.system import Client, DSMSystem
+from repro.core.timestamp import EdgeIndexedPolicy, Timestamp
+from repro.core.timestamp_graph import (
+    TimestampGraph,
+    all_timestamp_graphs,
+    timestamp_graph,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConsistencyViolation,
+    ProtocolError,
+    ReproError,
+    UnknownRegisterError,
+    UnknownReplicaError,
+)
+from repro.types import Edge, Update, UpdateId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckResult",
+    "check_history",
+    "History",
+    "Loop",
+    "LoopFinder",
+    "is_i_ejk_loop",
+    "Replica",
+    "ShareGraph",
+    "Client",
+    "DSMSystem",
+    "EdgeIndexedPolicy",
+    "Timestamp",
+    "TimestampGraph",
+    "all_timestamp_graphs",
+    "timestamp_graph",
+    "ConfigurationError",
+    "ConsistencyViolation",
+    "ProtocolError",
+    "ReproError",
+    "UnknownRegisterError",
+    "UnknownReplicaError",
+    "Edge",
+    "Update",
+    "UpdateId",
+    "__version__",
+]

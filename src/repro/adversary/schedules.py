@@ -1,0 +1,216 @@
+"""Synthesis of the Theorem 8 Case 3 executions from witness loops.
+
+The proof of Theorem 8 (Case 3) constructs, for any (i, e_jk)-loop
+``(i, l_1, ..., l_s = k, j = r_1, ..., r_t, i)``, an execution where:
+
+* ``u_0``: replica *j* updates a register of ``X_jk`` invisible to
+  ``l_1..l_{s-1}`` -- and the direct message ``j -> k`` is delayed;
+* a chain of updates ``u_1 .. u_t`` travels ``j -> r_2 -> ... -> r_t -> i``
+  on registers invisible to the whole l-side, so ``u_0 -> u_t``;
+* replica *i* then starts a second chain ``u'_0 .. u'_{s-1}`` along
+  ``i -> l_1 -> ... -> l_s = k``.
+
+The final update ``u'_{s-1}`` arriving at ``k`` causally depends on
+``u_0``; if replica *i* is oblivious to ``e_jk``, the dependency
+information is destroyed at *i* and ``k`` applies ``u'_{s-1}`` too early.
+
+Case 3.1 applies when a register ``w_1 in X_{j r_2}`` invisible to the
+*entire* l-side exists; otherwise condition (ii) guarantees a register
+shared with ``l_s = k`` but no earlier l (Case 3.2), and ``u_0`` itself
+doubles as the first chain link (its copy to ``k`` is the one stalled).
+
+Second-chain registers are chosen to be invisible to ``k`` and the
+r-side when possible (``minimal=True``); when not, the fallback register
+only sends *extra outbound* messages from the chain, which cannot carry
+the lost dependency information back into it -- so every synthesized
+schedule produces the violation against an oblivious replica *i*, and
+the exact algorithm must survive every one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.loops import Loop
+from repro.core.share_graph import ShareGraph
+from repro.core.system import DSMSystem
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError
+from repro.network.delays import FixedDelay, PerEdgeDelay
+from repro.types import Edge, RegisterName, ReplicaId
+
+
+@dataclass(frozen=True)
+class ScheduledWrite:
+    time: float
+    replica: ReplicaId
+    register: RegisterName
+    value: str
+
+
+@dataclass(frozen=True)
+class SynthesizedSchedule:
+    """A Theorem 8 Case 3 execution for one witness loop."""
+
+    graph: ShareGraph
+    loop: Loop
+    case: str  # "3.1" | "3.2"
+    writes: Tuple[ScheduledWrite, ...]
+    stalled_channel: Edge  # the delayed j -> k channel
+    victim: ReplicaId  # the replica made oblivious (= loop anchor i)
+    expected_violation_at: ReplicaId  # l_s = k
+    minimal: bool  # second-chain registers avoid k and the r-side
+
+    @property
+    def edge(self) -> Edge:
+        return self.loop.edge
+
+
+def _pick(registers: Set[RegisterName]) -> Optional[RegisterName]:
+    """Deterministic choice: the smallest register by repr."""
+    if not registers:
+        return None
+    return min(registers, key=lambda v: (str(type(v)), repr(v)))
+
+
+def synthesize_case3(
+    graph: ShareGraph, loop: Loop
+) -> Optional[SynthesizedSchedule]:
+    """Build the Case 3 schedule for one witness loop, or ``None`` when
+    the loop does not satisfy Definition 4 register availability (which a
+    genuine witness always does)."""
+    i = loop.anchor
+    lefts = loop.left  # l_1 .. l_s (= k)
+    rights = loop.right  # r_1 (= j) .. r_t
+    k, j = lefts[-1], rights[0]
+
+    union_l_open: Set[RegisterName] = set()
+    for lp in lefts[:-1]:
+        union_l_open |= graph.registers_at(lp)
+    union_l_full = union_l_open | graph.registers_at(k)
+
+    r2 = rights[1] if len(rights) >= 2 else i
+
+    writes: List[ScheduledWrite] = []
+    clock = 0.0
+
+    w1_31 = _pick(graph.shared(j, r2) - union_l_full)
+    if w1_31 is not None:
+        case = "3.1"
+        w0 = _pick(graph.shared(j, k) - union_l_open)
+        if w0 is None:
+            return None
+        writes.append(ScheduledWrite(clock, j, w0, "u0"))
+        clock += 1.0
+        writes.append(ScheduledWrite(clock, j, w1_31, "u1"))
+    else:
+        case = "3.2"
+        w1 = _pick(graph.shared(j, r2) & graph.shared(j, k) - union_l_open)
+        if w1 is None:
+            return None
+        writes.append(ScheduledWrite(clock, j, w1, "u0"))
+
+    # Chain u_2 .. u_t along the r-side; each write waits for the
+    # previous hop to arrive (default delay 1, spacing 5).
+    r_cycle = tuple(rights) + (i,)
+    for q in range(2, len(rights) + 1):
+        clock += 5.0
+        r_q, r_next = r_cycle[q - 1], r_cycle[q]
+        w_q = _pick(graph.shared(r_q, r_next) - union_l_full)
+        if w_q is None:
+            return None
+        writes.append(ScheduledWrite(clock, r_q, w_q, f"u{q}"))
+
+    # Second chain u'_0 .. u'_{s-1} along i -> l_1 -> ... -> l_s.
+    l_cycle = (i,) + tuple(lefts)
+    avoid = graph.registers_at(k) | set().union(
+        *(graph.registers_at(r) for r in rights)
+    )
+    minimal = True
+    for p in range(len(lefts)):
+        clock += 5.0
+        hop_src, hop_dst = l_cycle[p], l_cycle[p + 1]
+        preferred = graph.shared(hop_src, hop_dst) - avoid
+        register = _pick(preferred)
+        if register is None:
+            minimal = False
+            register = _pick(graph.shared(hop_src, hop_dst))
+            if register is None:  # pragma: no cover - loop edges share
+                return None
+        writes.append(ScheduledWrite(clock, hop_src, register, f"u'{p}"))
+
+    return SynthesizedSchedule(
+        graph=graph,
+        loop=loop,
+        case=case,
+        writes=tuple(writes),
+        stalled_channel=(j, k),
+        victim=i,
+        expected_violation_at=k,
+        minimal=minimal,
+    )
+
+
+def run_schedule(
+    schedule: SynthesizedSchedule,
+    oblivious: bool,
+    stall: float = 10_000.0,
+    seed: int = 0,
+) -> DSMSystem:
+    """Execute a synthesized schedule.
+
+    ``oblivious=True`` drops the loop's edge from the victim replica's
+    timestamp (the Theorem 8 hypothesis); ``False`` runs the exact
+    algorithm.  The ``j -> k`` channel is stalled so the causal chain
+    always wins the race.
+    """
+    graph = schedule.graph
+    graphs = all_timestamp_graphs(graph)
+    victim, dropped = schedule.victim, schedule.edge
+    if oblivious and dropped not in graphs[victim].edges:
+        raise ConfigurationError(
+            f"{dropped} is not in the victim's timestamp graph; the loop "
+            "is not a witness"
+        )
+
+    def factory(g: ShareGraph, rid: ReplicaId) -> EdgeIndexedPolicy:
+        edges = graphs[rid].edges
+        if oblivious and rid == victim:
+            edges = edges - {dropped}
+        return EdgeIndexedPolicy.unsafe_with_edges(g, rid, edges)
+
+    delay = PerEdgeDelay(
+        {schedule.stalled_channel: FixedDelay(stall)},
+        default=FixedDelay(1.0),
+    )
+    system = DSMSystem(
+        graph, policy_factory=factory, seed=seed, delay_model=delay
+    )
+    for write in schedule.writes:
+        system.schedule_write(
+            write.time, write.replica, write.register, write.value
+        )
+    system.run()
+    return system
+
+
+def demonstrate_necessity(
+    graph: ShareGraph, anchor: ReplicaId, edge: Edge
+) -> Optional[Tuple[SynthesizedSchedule, DSMSystem, DSMSystem]]:
+    """One-call necessity demo for a loop edge of ``anchor``'s timestamp
+    graph: returns (schedule, oblivious run, exact run), or ``None`` when
+    no witness loop exists."""
+    from repro.core.loops import LoopFinder
+
+    finder = LoopFinder(graph)
+    witness = finder.witness(anchor, edge)
+    if witness is None:
+        return None
+    schedule = synthesize_case3(graph, witness)
+    if schedule is None:
+        return None
+    broken = run_schedule(schedule, oblivious=True)
+    exact = run_schedule(schedule, oblivious=False)
+    return schedule, broken, exact

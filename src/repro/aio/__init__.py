@@ -1,0 +1,14 @@
+"""asyncio runtime: the same protocol on real concurrent tasks.
+
+The discrete-event simulator (:mod:`repro.sim`) gives deterministic,
+replayable experiments; this package runs the *identical* replica logic
+(same :class:`~repro.core.timestamp.TimestampPolicy` objects, same
+pending-buffer drain) on ``asyncio`` tasks connected by queues with
+randomized delivery delays -- a live, concurrent execution rather than a
+simulated one.  The independent checker verifies those runs too, which
+guards against accidental determinism-only correctness.
+"""
+
+from repro.aio.runtime import AioDSMSystem, AioReplica
+
+__all__ = ["AioDSMSystem", "AioReplica"]

@@ -1,0 +1,228 @@
+"""Asyncio-based execution of the replica prototype.
+
+Each replica is an ``asyncio`` task consuming an inbox queue; sends go
+through per-message ``asyncio.sleep`` with jittered delays, so channels
+are reliable but non-FIFO exactly as in Section 2's model.  Replicas
+share the timestamp-policy objects with the simulator runtime -- the
+protocol logic under test is the same code.
+
+Wall-clock timestamps recorded into the :class:`History` are only used
+for reporting; happened-before is derived from event order, which the
+single-threaded asyncio loop serializes faithfully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.causality import History
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError, UnknownRegisterError
+from repro.types import RegisterName, ReplicaId, Update, UpdateId
+
+
+class AioReplica:
+    """One replica task: local store + timestamp + pending buffer."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        graph: ShareGraph,
+        policy: TimestampPolicy,
+        system: "AioDSMSystem",
+    ) -> None:
+        self.replica_id = replica_id
+        self.graph = graph
+        self.policy = policy
+        self.system = system
+        self.store: Dict[RegisterName, Any] = {
+            x: None for x in graph.registers_at(replica_id)
+        }
+        self.timestamp = policy.initial()
+        self.pending: List[Tuple[ReplicaId, Update]] = []
+        self.inbox: "asyncio.Queue[Tuple[ReplicaId, Update]]" = asyncio.Queue()
+        self._seq = 0
+
+    # -- client operations ---------------------------------------------
+    def read(self, register: RegisterName) -> Any:
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        return self.store[register]
+
+    async def write(self, register: RegisterName, value: Any) -> UpdateId:
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        self._seq += 1
+        uid = UpdateId(self.replica_id, self._seq)
+        self.store[register] = value
+        self.timestamp = self.policy.advance(self.timestamp, register)
+        self.system.history.record_issue(
+            self.replica_id, uid, register, self.system.clock()
+        )
+        update = Update(uid, register, value, self.timestamp)
+        for k in self.graph.recipients(self.replica_id, register):
+            self.system.post(self.replica_id, k, update)
+        return uid
+
+    # -- update delivery -------------------------------------------------
+    async def run(self) -> None:
+        """Consume the inbox forever (cancelled by the system)."""
+        while True:
+            src, update = await self.inbox.get()
+            self.pending.append((src, update))
+            self._drain()
+            self.system.note_progress()
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, (src, update) in enumerate(self.pending):
+                if self.policy.ready(self.timestamp, src, update.timestamp):
+                    del self.pending[index]
+                    self.store[update.register] = update.value
+                    self.timestamp = self.policy.merge(
+                        self.timestamp, src, update.timestamp
+                    )
+                    self.system.history.record_apply(
+                        self.replica_id, update.uid, self.system.clock()
+                    )
+                    progress = True
+                    break
+
+
+class AioDSMSystem:
+    """A live asyncio DSM: create inside a running event loop.
+
+    Usage::
+
+        async def scenario():
+            system = AioDSMSystem({1: {"x"}, 2: {"x"}}, seed=1)
+            async with system:
+                await system.replica(1).write("x", 5)
+                await system.settle()
+            assert system.check().ok
+
+    Parameters
+    ----------
+    placements, policy_factory, seed:
+        As for :class:`~repro.core.system.DSMSystem`.
+    delay_range:
+        Uniform per-message delay bounds in *real* seconds; keep them
+        small (defaults give visible reordering without slow tests).
+    """
+
+    def __init__(
+        self,
+        placements: Mapping[ReplicaId, Any],
+        policy_factory=None,
+        seed: int = 0,
+        delay_range: Tuple[float, float] = (0.001, 0.02),
+    ) -> None:
+        self.graph = (
+            placements
+            if isinstance(placements, ShareGraph)
+            else ShareGraph(placements)
+        )
+        lo, hi = delay_range
+        if not 0 <= lo <= hi:
+            raise ConfigurationError("need 0 <= lo <= hi delay bounds")
+        self.delay_range = delay_range
+        self.rng = random.Random(seed)
+        self.history = History()
+        self._start = None  # set on __aenter__
+        if policy_factory is None:
+            graphs = all_timestamp_graphs(self.graph)
+
+            def policy_factory(graph: ShareGraph, rid: ReplicaId):
+                return EdgeIndexedPolicy(graph, rid, edges=graphs[rid].edges)
+
+        self.replicas: Dict[ReplicaId, AioReplica] = {
+            rid: AioReplica(rid, self.graph, policy_factory(self.graph, rid), self)
+            for rid in self.graph.replicas
+        }
+        self._tasks: List[asyncio.Task] = []
+        self._in_flight = 0
+        self._progress = asyncio.Event()
+        self.messages_sent = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def __aenter__(self) -> "AioDSMSystem":
+        loop = asyncio.get_running_loop()
+        self._start = loop.time()
+        for replica in self.replicas.values():
+            self._tasks.append(asyncio.ensure_future(replica.run()))
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.settle()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def clock(self) -> float:
+        loop = asyncio.get_running_loop()
+        return loop.time() - (self._start or 0.0)
+
+    # -- transport -------------------------------------------------------
+    def post(self, src: ReplicaId, dst: ReplicaId, update: Update) -> None:
+        """Schedule delayed delivery of ``update`` to ``dst``'s inbox."""
+        delay = self.rng.uniform(*self.delay_range)
+        self.messages_sent += 1
+        self._in_flight += 1
+
+        async def deliver() -> None:
+            try:
+                await asyncio.sleep(delay)
+                self.replicas[dst].inbox.put_nowait((src, update))
+            finally:
+                self._in_flight -= 1
+                self.note_progress()
+
+        self._tasks.append(asyncio.ensure_future(deliver()))
+
+    def note_progress(self) -> None:
+        self._progress.set()
+
+    # -- access & verification -------------------------------------------
+    def replica(self, replica_id: ReplicaId) -> AioReplica:
+        try:
+            return self.replicas[replica_id]
+        except KeyError:
+            raise ConfigurationError(f"no replica {replica_id!r}") from None
+
+    def quiescent(self) -> bool:
+        return (
+            self._in_flight == 0
+            and all(r.inbox.empty() for r in self.replicas.values())
+            and all(not r.pending for r in self.replicas.values())
+        )
+
+    async def settle(self, timeout: float = 30.0) -> None:
+        """Wait until no message is in flight, queued, or pending."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not self.quiescent():
+            if loop.time() > deadline:
+                raise ConfigurationError(
+                    "asyncio system failed to settle "
+                    f"(in flight={self._in_flight})"
+                )
+            self._progress.clear()
+            try:
+                await asyncio.wait_for(
+                    self._progress.wait(), timeout=max(deadline - loop.time(), 0.01)
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    def check(self, require_liveness: bool = True):
+        from repro.checker import check_history
+
+        return check_history(
+            self.history, self.graph, require_liveness=require_liveness
+        )

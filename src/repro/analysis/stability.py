@@ -1,0 +1,87 @@
+"""Update stability: when has an update reached everyone who stores it?
+
+An update is *stable* once applied at every replica storing its register
+-- from then on no replica can ever buffer behind it, and real systems
+use stability to garbage-collect dependency metadata (cf. GentleRain's
+stable vectors).  Stability latency (issue -> last relevant apply) is a
+useful protocol health metric: partial replication keeps it low because
+the relevant set is small; full replication must wait for the slowest of
+R-1 deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.causality import History
+from repro.core.share_graph import ShareGraph
+from repro.types import UpdateId
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Distribution of stability latencies for one run."""
+
+    latencies: Dict[UpdateId, float]
+    unstable: int  # updates that never stabilized (mid-run histories)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def mean(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies.values()) / len(self.latencies)
+
+    @property
+    def max(self) -> float:
+        return max(self.latencies.values(), default=0.0)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0 < fraction <= 1)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies.values())
+        index = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def __str__(self) -> str:
+        return (
+            f"stability: n={self.count} mean={self.mean:.3f} "
+            f"p90={self.percentile(0.9):.3f} max={self.max:.3f} "
+            f"unstable={self.unstable}"
+        )
+
+
+def stability_report(history: History, graph: ShareGraph) -> StabilityReport:
+    """Compute per-update stability latency from a finished history."""
+    issue_time: Dict[UpdateId, float] = {}
+    last_relevant_apply: Dict[UpdateId, float] = {}
+    remaining: Dict[UpdateId, set] = {}
+    for event in history.events:
+        uid = event.uid
+        if uid is None:
+            continue
+        if event.kind == "issue":
+            record = history.updates[uid]
+            issue_time[uid] = event.time
+            holders = set(graph.replicas_storing(record.register))
+            holders.discard(event.replica)
+            remaining[uid] = holders
+            if not holders:
+                last_relevant_apply[uid] = event.time
+        elif event.kind == "apply":
+            holders = remaining.get(uid)
+            if holders is not None and event.replica in holders:
+                holders.discard(event.replica)
+                if not holders:
+                    last_relevant_apply[uid] = event.time
+    latencies = {
+        uid: last_relevant_apply[uid] - issue_time[uid]
+        for uid in last_relevant_apply
+    }
+    unstable = len(issue_time) - len(latencies)
+    return StabilityReport(latencies=latencies, unstable=unstable)

@@ -1,0 +1,17 @@
+"""Baseline timestamp policies the paper compares against.
+
+* :class:`VectorClockPolicy` -- full replication with classic replica-
+  indexed vector timestamps (Lazy Replication applied to the peer-to-peer
+  architecture, Sections 1 and 4).
+* :func:`full_track_policy` -- partial replication that tracks *every*
+  share-graph edge (the safe-but-wasteful upper bound; cf. Full-Track in
+  Section 7).
+* :func:`hoop_track_policy` -- edge sets derived from Helary & Milani's
+  minimal-hoop condition, used by the Section 3.2 comparison.
+"""
+
+from repro.baselines.full_replication import VectorClockPolicy
+from repro.baselines.full_track import full_track_policy
+from repro.baselines.hoop_track import hoop_track_policy
+
+__all__ = ["VectorClockPolicy", "full_track_policy", "hoop_track_policy"]

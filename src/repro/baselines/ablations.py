@@ -1,0 +1,67 @@
+"""Predicate-J ablations: why both halves of the predicate exist.
+
+Section 3.3's delivery predicate has two parts:
+
+1. ``tau_i[e_ki] == T[e_ki] - 1`` -- per-sender-edge FIFO: apply the
+   sender's updates on this edge in issue order, no gaps;
+2. ``tau_i[e_ji] >= T[e_ji]`` for other incoming edges ``e_ji`` the
+   sender also tracks -- third-party gating: wait until everything the
+   sender had seen from *other* replicas has arrived here too.
+
+Each ablation removes one part; the resulting policy is wrong in a
+specific, demonstrable way (see ``benchmarks/test_ablation_predicate.py``):
+
+* :class:`NoThirdPartyCheckPolicy` applies updates that causally depend
+  on third-party updates not yet received -- a safety violation;
+* :class:`LaxSenderEdgePolicy` lets a later same-sender update overtake
+  an earlier one, clobbering values and violating safety.
+"""
+
+from __future__ import annotations
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy, Timestamp
+from repro.types import ReplicaId
+
+
+class NoThirdPartyCheckPolicy(EdgeIndexedPolicy):
+    """Predicate J without the third-party gating clause."""
+
+    def ready(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> bool:
+        e_ki = (sender, self.replica_id)
+        own, incoming = ts.get(e_ki), sender_ts.get(e_ki)
+        if own is None or incoming is None:
+            return True
+        return own == incoming - 1
+
+
+class LaxSenderEdgePolicy(EdgeIndexedPolicy):
+    """Predicate J with ``>=`` on the sender edge (gaps allowed)."""
+
+    def ready(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> bool:
+        i = self.replica_id
+        e_ki = (sender, i)
+        own, incoming = ts.get(e_ki), sender_ts.get(e_ki)
+        if own is not None and incoming is not None and own > incoming - 1:
+            # Already past this update: would apply stale data, but the
+            # ablation's point is the weaker "no gap check" below.
+            pass
+        for e in self._incoming:
+            if e[0] == sender:
+                continue
+            other = sender_ts.get(e)
+            if other is not None and ts[e] < other:
+                return False
+        return True
+
+
+def no_third_party_factory(graph: ShareGraph, rid: ReplicaId):
+    return NoThirdPartyCheckPolicy(graph, rid)
+
+
+def lax_sender_factory(graph: ShareGraph, rid: ReplicaId):
+    return LaxSenderEdgePolicy(graph, rid)

@@ -1,0 +1,21 @@
+"""Full-Track baseline: keep a counter for *every* share-graph edge.
+
+Tracking every directed edge of the share graph is trivially sufficient
+for causal consistency (it is a superset of every timestamp graph), so it
+serves as the safe upper bound in the metadata-overhead comparisons
+(experiment E7).  The paper's contribution is precisely that the much
+smaller set ``E_i`` suffices.
+"""
+
+from __future__ import annotations
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.types import ReplicaId
+
+
+def full_track_policy(
+    graph: ShareGraph, replica_id: ReplicaId
+) -> EdgeIndexedPolicy:
+    """An edge-indexed policy over *all* directed share-graph edges."""
+    return EdgeIndexedPolicy(graph, replica_id, edges=graph.edges)

@@ -1,0 +1,43 @@
+"""Hoop-Track baseline: edge sets from Helary & Milani's condition.
+
+Lemma 11/19 claims a replica must transmit information about register
+``x`` iff it stores ``x`` or belongs to a minimal x-hoop.  Rendering that
+register condition as an edge set (see
+:func:`repro.core.hoops.hoop_tracked_edges`) gives a policy whose metadata
+can be compared against the paper's timestamp graph.  On the Figure 6
+counter-example the hoop condition tracks strictly more than necessary;
+on Figure 8b the *modified* condition tracks strictly less than required
+(and is therefore unsafe) -- both directions are exercised by the E3/E4
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hoops import hoop_tracked_edges
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.types import ReplicaId
+
+
+def hoop_track_policy(
+    graph: ShareGraph,
+    replica_id: ReplicaId,
+    modified: bool = False,
+    max_len: Optional[int] = None,
+) -> EdgeIndexedPolicy:
+    """Edge-indexed policy over the Helary-Milani tracked-edge set.
+
+    With ``modified=False`` (Definition 18) the set is a superset of the
+    incident edges and generally safe-but-large; with ``modified=True``
+    (Definition 20) it can drop edges Theorem 8 proves necessary, so the
+    policy is built without incident-edge validation and may violate
+    causal consistency -- which is the point of the E4 experiment.
+    """
+    edges = hoop_tracked_edges(
+        graph, replica_id, modified=modified, max_len=max_len
+    )
+    if modified:
+        return EdgeIndexedPolicy.unsafe_with_edges(graph, replica_id, edges)
+    return EdgeIndexedPolicy(graph, replica_id, edges=edges)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``graph``        print share graph + timestamp graphs for a topology
+``run``          run a workload on a topology and verify it
+``experiments``  regenerate paper experiment tables (E1..E14)
+``race``         run the Theorem 8 adversarial race on a witness edge
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.share_graph import ShareGraph
+from repro.core.system import DSMSystem
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.workloads import (
+    clique_placements,
+    fig3_placements,
+    fig5_placements,
+    fig6_counterexample_placements,
+    fig8b_placements,
+    grid_placements,
+    line_placements,
+    random_placements,
+    ring_placements,
+    run_workload,
+    star_placements,
+    tree_placements,
+    uniform_writes,
+)
+
+TOPOLOGIES: Dict[str, Callable[[int], Mapping]] = {
+    "fig3": lambda n: fig3_placements(),
+    "fig5": lambda n: fig5_placements(),
+    "fig6": lambda n: fig6_counterexample_placements(),
+    "fig8b": lambda n: fig8b_placements(),
+    "line": line_placements,
+    "ring": ring_placements,
+    "star": star_placements,
+    "clique": clique_placements,
+    "grid": lambda n: grid_placements(2, max(n // 2, 1)),
+    "tree": lambda n: tree_placements(n, seed=0),
+    "random": lambda n: random_placements(n, 2 * n, 3, seed=0),
+}
+
+
+def _build_graph(args: argparse.Namespace) -> ShareGraph:
+    make = TOPOLOGIES[args.topology]
+    return ShareGraph(make(args.n))
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    print(f"share graph: {graph}")
+    for r in graph.replicas:
+        print(f"  X_{r} = {sorted(map(str, graph.registers_at(r)))}")
+    print("\ntimestamp graphs (Definition 5):")
+    for r, tg in sorted(all_timestamp_graphs(graph).items(), key=lambda kv: str(kv[0])):
+        print(f"  {tg}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    system = DSMSystem(graph, seed=args.seed)
+    stream = uniform_writes(graph, args.writes, seed=args.seed + 1)
+    run_workload(system, stream)
+    metrics = system.metrics()
+    result = system.check()
+    print(f"topology={args.topology} R={len(graph)} writes={args.writes}")
+    print(f"  messages sent      : {metrics.messages_sent}")
+    print(f"  metadata counters  : {metrics.metadata_counters_sent}")
+    print(f"  metadata bytes     : {metrics.metadata_bytes_sent}")
+    print(f"  mean apply delay   : {metrics.mean_apply_delay:.4f}")
+    print(f"  timestamp counters : {metrics.timestamp_counters}")
+    print(f"  checker            : {result}")
+    return 0 if result.ok else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as E
+
+    runners: Dict[str, Callable[[], object]] = {
+        "E1": E.e1_fig3_share_graph,
+        "E2": E.e2_fig5_timestamp_graph,
+        "E3": lambda: "\n".join(str(t) for t in E.e3_fig6_counterexample()),
+        "E4": E.e4_fig8b_modified_hoop,
+        "E5": E.e5_closed_form_bounds,
+        "E6": E.e6_conflict_graph_bounds,
+        "E7": E.e7_metadata_tradeoff,
+        "E7b": E.e7_hoop_comparison,
+        "E8": E.e8_compression,
+        "E8b": E.e8b_wire_bytes,
+        "E9": E.e9_dummy_registers,
+        "E10": E.e10_ring_breaking,
+        "E11": E.e11_bounded_loops,
+        "E12": E.e12_client_server,
+        "E13": E.e13_multicast,
+        "E14": E.e14_protocol_costs,
+    }
+    wanted = args.only.split(",") if args.only else list(runners)
+    unknown = [w for w in wanted if w not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(runners)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        print(runners[name]())
+    return 0
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    from repro.adversary import demonstrate_necessity
+    from repro.core.loops import LoopFinder
+
+    graph = _build_graph(args)
+    anchor = graph.replicas[0] if args.replica is None else _parse_replica(
+        graph, args.replica
+    )
+    finder = LoopFinder(graph)
+    edges = sorted(finder.loop_edges(anchor), key=str)
+    if not edges:
+        print(f"replica {anchor!r} has no loop edges to race on")
+        return 0
+    for edge in edges:
+        result = demonstrate_necessity(graph, anchor, edge)
+        if result is None:
+            print(f"  {edge}: no schedule")
+            continue
+        schedule, broken, exact = result
+        print(
+            f"  edge {edge} (case {schedule.case}): oblivious -> "
+            f"{len(broken.check().safety)} safety violations; exact -> "
+            f"{'OK' if exact.check().ok else 'VIOLATED'}"
+        )
+    return 0
+
+
+def cmd_modelcheck(args: argparse.Namespace) -> int:
+    from repro.modelcheck import ModelChecker
+
+    graph = _build_graph(args)
+    # A default exercise: every replica writes each of its registers once.
+    programs = {
+        r: sorted(graph.registers_at(r), key=lambda v: (str(type(v)), repr(v)))[
+            : args.writes_per_replica
+        ]
+        for r in graph.replicas
+    }
+    checker = ModelChecker(graph, programs)
+    result = checker.run(max_states=args.max_states)
+    print(f"programs: {programs}")
+    print(f"result  : {result}")
+    for violation in result.violations[:10]:
+        print(f"  {violation.kind} at {violation.replica!r}: {violation.detail}")
+    return 0 if result.ok else 1
+
+
+def _parse_replica(graph: ShareGraph, raw: str):
+    for r in graph.replicas:
+        if str(r) == raw:
+            return r
+    print(f"unknown replica {raw!r}; have {list(graph.replicas)}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partially replicated causally consistent shared memory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--topology", choices=sorted(TOPOLOGIES), default="fig5"
+        )
+        p.add_argument("--n", type=int, default=6, help="family size")
+
+    p_graph = sub.add_parser("graph", help="print share + timestamp graphs")
+    add_topology_args(p_graph)
+    p_graph.set_defaults(func=cmd_graph)
+
+    p_run = sub.add_parser("run", help="run and verify a workload")
+    add_topology_args(p_run)
+    p_run.add_argument("--writes", type=int, default=200)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables")
+    p_exp.add_argument(
+        "--only", default=None, help="comma-separated ids, e.g. E5,E7"
+    )
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_race = sub.add_parser(
+        "race", help="Theorem 8 adversarial race on every loop edge"
+    )
+    add_topology_args(p_race)
+    p_race.add_argument("--replica", default=None, help="anchor replica")
+    p_race.set_defaults(func=cmd_race)
+
+    p_mc = sub.add_parser(
+        "modelcheck", help="exhaustively explore all interleavings"
+    )
+    add_topology_args(p_mc)
+    p_mc.add_argument("--writes-per-replica", type=int, default=1)
+    p_mc.add_argument("--max-states", type=int, default=200_000)
+    p_mc.set_defaults(func=cmd_modelcheck)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

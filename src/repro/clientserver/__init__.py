@@ -1,0 +1,34 @@
+"""Client-server architecture (Figure 1b, Section 6, Appendix E).
+
+Clients access arbitrary subsets of replicas and propagate causal
+dependencies *between* replicas that may share no registers.  The share
+graph is augmented with client edges (Definition 16), the (i, e_jk)-loop
+is generalized (Definition 27), and the resulting augmented timestamp
+graph (Definition 28) indexes both replica and client timestamps.
+"""
+
+from repro.clientserver.augmented import (
+    ClientAssignment,
+    augmented_edges,
+    augmented_timestamp_graph,
+    all_augmented_timestamp_graphs,
+)
+from repro.clientserver.protocol import (
+    ClientServerSystem,
+    CSClient,
+    CSReplica,
+    ReadRequest,
+    WriteRequest,
+)
+
+__all__ = [
+    "ClientAssignment",
+    "augmented_edges",
+    "augmented_timestamp_graph",
+    "all_augmented_timestamp_graphs",
+    "ClientServerSystem",
+    "CSClient",
+    "CSReplica",
+    "ReadRequest",
+    "WriteRequest",
+]

@@ -1,0 +1,223 @@
+"""Augmented share graphs and timestamp graphs (Definitions 16, 27, 28).
+
+A client accessing replicas ``j`` and ``k`` can carry causal dependencies
+between them even when ``X_jk`` is empty.  The augmented share graph adds
+directed edges between all replica pairs co-assigned to some client; the
+augmented (i, e_jk)-loop relaxes conditions (ii)/(iii) of Definition 4 to
+accept a shared client in place of a shared register; the augmented
+timestamp graph keeps only *real* share-graph edges in the final index
+set (client edges carry no updates of their own).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import TimestampGraph
+from repro.errors import ConfigurationError, UnknownReplicaError
+from repro.types import ClientId, Edge, RegisterName, ReplicaId
+
+
+class ClientAssignment:
+    """The replica sets ``R_c`` each client may access (static case).
+
+    Parameters
+    ----------
+    assignment:
+        Mapping from client id to the replicas it accesses.  Client ids
+        must be disjoint from replica ids (they share the network
+        namespace in the simulated protocol).
+    """
+
+    def __init__(
+        self,
+        graph: ShareGraph,
+        assignment: Mapping[ClientId, AbstractSet[ReplicaId]],
+    ) -> None:
+        if not assignment:
+            raise ConfigurationError("need at least one client")
+        self.graph = graph
+        self._replicas_of: Dict[ClientId, FrozenSet[ReplicaId]] = {}
+        for client, replicas in assignment.items():
+            if client in graph:
+                raise ConfigurationError(
+                    f"client id {client!r} collides with a replica id"
+                )
+            replicas = frozenset(replicas)
+            if not replicas:
+                raise ConfigurationError(f"client {client!r} has no replicas")
+            for r in replicas:
+                if r not in graph:
+                    raise UnknownReplicaError(r)
+            self._replicas_of[client] = replicas
+        self.clients: Tuple[ClientId, ...] = tuple(
+            sorted(self._replicas_of, key=lambda c: (str(type(c)), repr(c)))
+        )
+
+    def replicas_of(self, client: ClientId) -> FrozenSet[ReplicaId]:
+        """``R_c``."""
+        return self._replicas_of[client]
+
+    def registers_of(self, client: ClientId) -> FrozenSet[RegisterName]:
+        """``X_{R_c}``: all registers the client may operate on."""
+        out: Set[RegisterName] = set()
+        for r in self._replicas_of[client]:
+            out |= self.graph.registers_at(r)
+        return frozenset(out)
+
+    def co_assigned(self, j: ReplicaId, k: ReplicaId) -> bool:
+        """True when some client accesses both ``j`` and ``k``."""
+        return any(
+            j in rs and k in rs for rs in self._replicas_of.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"ClientAssignment({len(self.clients)} clients)"
+
+
+def augmented_edges(
+    graph: ShareGraph, assignment: ClientAssignment
+) -> FrozenSet[Edge]:
+    """``E^ = E ∪ {e_jk | some client accesses both j and k}`` (Def. 16)."""
+    edges: Set[Edge] = set(graph.edges)
+    for client in assignment.clients:
+        replicas = sorted(
+            assignment.replicas_of(client), key=lambda v: (str(type(v)), repr(v))
+        )
+        for j in replicas:
+            for k in replicas:
+                if j != k:
+                    edges.add((j, k))
+    return frozenset(edges)
+
+
+def _augmented_neighbors(
+    graph: ShareGraph, assignment: ClientAssignment
+) -> Dict[ReplicaId, Tuple[ReplicaId, ...]]:
+    edges = augmented_edges(graph, assignment)
+    nbrs: Dict[ReplicaId, Set[ReplicaId]] = {r: set() for r in graph.replicas}
+    for (j, k) in edges:
+        nbrs[j].add(k)
+    return {
+        r: tuple(sorted(v, key=lambda x: (str(type(x)), repr(x))))
+        for r, v in nbrs.items()
+    }
+
+
+def _augmented_cycles(
+    neighbors: Mapping[ReplicaId, Tuple[ReplicaId, ...]],
+    anchor: ReplicaId,
+    max_len: Optional[int],
+) -> Iterator[Tuple[ReplicaId, ...]]:
+    """Oriented simple cycles through ``anchor`` in the augmented graph."""
+    limit = max_len if max_len is not None else len(neighbors)
+    if limit < 3:
+        return
+    path: List[ReplicaId] = [anchor]
+    on_path: Set[ReplicaId] = {anchor}
+
+    def extend() -> Iterator[Tuple[ReplicaId, ...]]:
+        current = path[-1]
+        for nxt in neighbors[current]:
+            if nxt == anchor:
+                if len(path) >= 3:
+                    yield tuple(path)
+                continue
+            if nxt in on_path or len(path) >= limit:
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            yield from extend()
+            path.pop()
+            on_path.remove(nxt)
+
+    yield from extend()
+
+
+def _is_augmented_loop(
+    graph: ShareGraph,
+    assignment: ClientAssignment,
+    anchor: ReplicaId,
+    left: Tuple[ReplicaId, ...],
+    right: Tuple[ReplicaId, ...],
+) -> bool:
+    """Definition 27's three conditions for one decomposition."""
+    k, j = left[-1], right[0]
+    union_l_open: Set = set()
+    for lp in left[:-1]:
+        union_l_open |= graph.registers_at(lp)
+    union_l_full = union_l_open | graph.registers_at(left[-1])
+
+    # (i) unchanged: a real register must exist on e_jk.
+    if not (graph.shared(j, k) - union_l_open):
+        return False
+    # (ii): register witness or a shared client.
+    r2 = right[1] if len(right) >= 2 else anchor
+    if not (graph.shared(j, r2) - union_l_open) and not assignment.co_assigned(
+        j, r2
+    ):
+        return False
+    # (iii): same relaxation along the r-side.
+    for q in range(2, len(right) + 1):
+        rq = right[q - 1]
+        rq_next = right[q] if q < len(right) else anchor
+        if not (
+            graph.shared(rq, rq_next) - union_l_full
+        ) and not assignment.co_assigned(rq, rq_next):
+            return False
+    return True
+
+
+def augmented_timestamp_graph(
+    graph: ShareGraph,
+    assignment: ClientAssignment,
+    replica: ReplicaId,
+    max_loop_len: Optional[int] = None,
+) -> TimestampGraph:
+    """``G^_i`` per Definition 28 (edge set intersected with ``E``)."""
+    if replica not in graph:
+        raise UnknownReplicaError(replica)
+    neighbors = _augmented_neighbors(graph, assignment)
+    incident = frozenset(
+        e
+        for n in graph.neighbors(replica)
+        for e in ((replica, n), (n, replica))
+    )
+    loop_edges: Set[Edge] = set()
+    for cycle in _augmented_cycles(neighbors, replica, max_loop_len):
+        rest = cycle[1:]
+        for s in range(1, len(rest)):
+            left, right = rest[:s], rest[s:]
+            e = (right[0], left[-1])
+            if e in loop_edges or e in incident or e not in graph.edges:
+                continue
+            if _is_augmented_loop(graph, assignment, replica, left, right):
+                loop_edges.add(e)
+    return TimestampGraph(
+        replica=replica,
+        incident=incident,
+        loop_edges=frozenset(loop_edges),
+    )
+
+
+def all_augmented_timestamp_graphs(
+    graph: ShareGraph,
+    assignment: ClientAssignment,
+    max_loop_len: Optional[int] = None,
+) -> Dict[ReplicaId, TimestampGraph]:
+    """Augmented timestamp graphs for every replica."""
+    return {
+        r: augmented_timestamp_graph(graph, assignment, r, max_loop_len)
+        for r in graph.replicas
+    }

@@ -1,0 +1,489 @@
+"""The client-server protocol (Appendix E.1 / E.5).
+
+Clients keep their own timestamps and attach them to requests; replicas
+buffer requests behind predicates ``J1``/``J2`` (session safety) and
+buffer inter-replica updates behind ``J3`` (causal delivery), exactly as
+specified in Appendix E.5:
+
+* ``J1(i, tau, c, mu) = J2 = true`` iff ``tau[e_ji] >= mu[e_ji]`` for every
+  incoming edge ``e_ji`` of ``E^_i``;
+* ``J3`` is the peer-to-peer predicate over ``E^_i ∩ E^_k``;
+* ``advance(i, tau, c, mu, x, v)`` increments ``tau[e_ik]`` for ``x in
+  X_ik`` and takes ``max(tau, mu)`` elsewhere;
+* ``merge1 = merge2`` (client) and ``merge3`` (replica) are element-wise
+  maxima over the respective shared index sets.
+
+Clients are sequential: one outstanding operation, the next is sent only
+after the response arrives (plus an optional think time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.clientserver.augmented import (
+    ClientAssignment,
+    all_augmented_timestamp_graphs,
+)
+from repro.core.causality import History
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import Timestamp
+from repro.errors import ConfigurationError, ProtocolError, UnknownRegisterError
+from repro.network.delays import DelayModel
+from repro.network.transport import Network
+from repro.sim.kernel import Simulator
+from repro.types import ClientId, Edge, RegisterName, ReplicaId, Update, UpdateId
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    client: ClientId
+    register: RegisterName
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    client: ClientId
+    register: RegisterName
+    value: Any
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    register: RegisterName
+    value: Any
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class WriteResponse:
+    register: RegisterName
+    uid: UpdateId
+    timestamp: Timestamp
+
+
+# ----------------------------------------------------------------------
+# Replica
+# ----------------------------------------------------------------------
+class CSReplica:
+    """A server replica with request buffering and causal update delivery."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        graph: ShareGraph,
+        edges: FrozenSet[Edge],
+        peer_edges: Mapping[ReplicaId, FrozenSet[Edge]],
+        network: Network,
+        history: Optional[History] = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.graph = graph
+        self.edges = frozenset(edges)
+        self._peer_edges = dict(peer_edges)
+        self.network = network
+        self.history = history
+        self.store: Dict[RegisterName, Any] = {
+            x: None for x in graph.registers_at(replica_id)
+        }
+        self.timestamp = Timestamp.zeros(self.edges)
+        self.pending_updates: List[Tuple[ReplicaId, Update]] = []
+        self.buffered_requests: List[Tuple[ClientId, Any]] = []
+        self._seq = 0
+        self._incoming: Tuple[Edge, ...] = tuple(
+            sorted(
+                ((n, replica_id) for n in graph.neighbors(replica_id)),
+                key=lambda e: (str(e[0]), str(e[1])),
+            )
+        )
+        network.register(replica_id, self.on_message)
+
+    # -- predicates and timestamp functions (Appendix E.5) -------------
+    def _session_ready(self, mu: Timestamp) -> bool:
+        """``J1 = J2``: the replica has caught up with the client."""
+        for e in self._incoming:
+            client_val = mu.get(e)
+            if client_val is not None and self.timestamp[e] < client_val:
+                return False
+        return True
+
+    def _update_ready(self, sender: ReplicaId, ts: Timestamp) -> bool:
+        """``J3``: the peer-to-peer delivery predicate."""
+        e_ki = (sender, self.replica_id)
+        own, incoming = self.timestamp.get(e_ki), ts.get(e_ki)
+        if own is not None and incoming is not None and own != incoming - 1:
+            return False
+        for e in self._incoming:
+            if e[0] == sender:
+                continue
+            other = ts.get(e)
+            if other is not None and self.timestamp[e] < other:
+                return False
+        return True
+
+    def _advance(self, mu: Timestamp, register: RegisterName) -> Timestamp:
+        i = self.replica_id
+        counters: Dict[Edge, int] = {}
+        for e in self.edges:
+            j, k = e
+            if j == i and register in self.graph.shared(i, k):
+                counters[e] = self.timestamp[e] + 1
+            else:
+                client_val = mu.get(e)
+                counters[e] = (
+                    max(self.timestamp[e], client_val)
+                    if client_val is not None
+                    else self.timestamp[e]
+                )
+        return Timestamp(counters)
+
+    def _merge(self, sender_ts: Timestamp) -> Timestamp:
+        counters = {
+            e: max(self.timestamp[e], sender_ts.get(e, 0))
+            if e in sender_ts
+            else self.timestamp[e]
+            for e in self.edges
+        }
+        return Timestamp(counters)
+
+    # -- message handling ----------------------------------------------
+    def on_message(self, src: ReplicaId, message: Any) -> None:
+        if isinstance(message, Update):
+            self.pending_updates.append((src, message))
+        elif isinstance(message, (ReadRequest, WriteRequest)):
+            self.buffered_requests.append((src, message))
+        else:  # pragma: no cover - wiring guard
+            raise ProtocolError(f"unexpected message {message!r}")
+        self._drain()
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, (sender, update) in enumerate(self.pending_updates):
+                if self._update_ready(sender, update.timestamp):
+                    del self.pending_updates[index]
+                    self._apply_update(sender, update)
+                    progress = True
+                    break
+            if progress:
+                continue
+            for index, (client, request) in enumerate(self.buffered_requests):
+                if self._session_ready(request.timestamp):
+                    del self.buffered_requests[index]
+                    self._serve(client, request)
+                    progress = True
+                    break
+
+    def _apply_update(self, sender: ReplicaId, update: Update) -> None:
+        if update.register not in self.store:  # pragma: no cover - guard
+            raise ProtocolError(
+                f"update for unstored register {update.register!r}"
+            )
+        self.store[update.register] = update.value
+        self.timestamp = self._merge(update.timestamp)
+        if self.history is not None:
+            self.history.record_apply(
+                self.replica_id, update.uid, self.network.simulator.now
+            )
+
+    def _serve(self, client: ClientId, request: Any) -> None:
+        now = self.network.simulator.now
+        if isinstance(request, ReadRequest):
+            if request.register not in self.store:
+                raise UnknownRegisterError(request.register, self.replica_id)
+            if self.history is not None:
+                self.history.record_client_access(client, self.replica_id, now)
+            self.network.send(
+                self.replica_id,
+                client,
+                ReadResponse(request.register, self.store[request.register], self.timestamp),
+                metadata_counters=len(self.timestamp),
+            )
+            return
+        # WriteRequest
+        if request.register not in self.store:
+            raise UnknownRegisterError(request.register, self.replica_id)
+        self._seq += 1
+        uid = UpdateId(self.replica_id, self._seq)
+        self.store[request.register] = request.value
+        self.timestamp = self._advance(request.timestamp, request.register)
+        if self.history is not None:
+            self.history.record_issue(
+                self.replica_id, uid, request.register, now, client=client
+            )
+        for k in self.graph.recipients(self.replica_id, request.register):
+            self.network.send(
+                self.replica_id,
+                k,
+                Update(uid, request.register, request.value, self.timestamp),
+                metadata_counters=len(self.timestamp),
+            )
+        if self.history is not None:
+            self.history.record_client_access(client, self.replica_id, now)
+        self.network.send(
+            self.replica_id,
+            client,
+            WriteResponse(request.register, uid, self.timestamp),
+            metadata_counters=len(self.timestamp),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSReplica({self.replica_id!r}, pending={len(self.pending_updates)}, "
+            f"buffered={len(self.buffered_requests)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompletedOp:
+    """One finished client operation and its observable outcome."""
+
+    kind: str  # "read" | "write"
+    register: RegisterName
+    value: Any
+    replica: ReplicaId
+    time: float
+    uid: Optional[UpdateId] = None
+
+
+class CSClient:
+    """A sequential client bound to the replica set ``R_c``."""
+
+    #: Replica-selection strategies for operations with several candidate
+    #: replicas: "random" spreads load, "sticky" always picks the same
+    #: replica per register (fewer session stalls -- the chosen replica is
+    #: never behind this client's past for that register), "round-robin"
+    #: rotates deterministically.
+    SELECTION_STRATEGIES = ("random", "sticky", "round-robin")
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        graph: ShareGraph,
+        assignment: ClientAssignment,
+        edges: FrozenSet[Edge],
+        network: Network,
+        think_time: float = 0.0,
+        selection: str = "random",
+    ) -> None:
+        if selection not in self.SELECTION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown selection strategy {selection!r}; choose from "
+                f"{self.SELECTION_STRATEGIES}"
+            )
+        self.client_id = client_id
+        self.graph = graph
+        self.replica_set = assignment.replicas_of(client_id)
+        self.timestamp = Timestamp.zeros(edges)
+        self.network = network
+        self.think_time = think_time
+        self.selection = selection
+        self.queue: List[Tuple[str, RegisterName, Any]] = []
+        self.completed: List[CompletedOp] = []
+        self._outstanding: Optional[Tuple[str, RegisterName, ReplicaId]] = None
+        self._rr_counter = 0
+        network.register(client_id, self.on_message)
+
+    def enqueue_read(self, register: RegisterName) -> None:
+        self._validate(register)
+        self.queue.append(("read", register, None))
+
+    def enqueue_write(self, register: RegisterName, value: Any) -> None:
+        self._validate(register)
+        self.queue.append(("write", register, value))
+
+    def _validate(self, register: RegisterName) -> None:
+        if not self._candidates(register):
+            raise UnknownRegisterError(register, self.client_id)
+
+    def _candidates(self, register: RegisterName) -> List[ReplicaId]:
+        return sorted(
+            (
+                r
+                for r in self.replica_set
+                if register in self.graph.registers_at(r)
+            ),
+            key=lambda v: (str(type(v)), repr(v)),
+        )
+
+    def start(self) -> None:
+        """Begin executing the queued operations (call before ``run``)."""
+        self._send_next()
+
+    def _send_next(self) -> None:
+        if self._outstanding is not None or not self.queue:
+            return
+        kind, register, value = self.queue.pop(0)
+        candidates = self._candidates(register)
+        if self.selection == "sticky":
+            replica = candidates[0]
+        elif self.selection == "round-robin":
+            replica = candidates[self._rr_counter % len(candidates)]
+            self._rr_counter += 1
+        else:
+            replica = self.network.simulator.rng.choice(candidates)
+        self._outstanding = (kind, register, replica)
+        if kind == "read":
+            message: Any = ReadRequest(self.client_id, register, self.timestamp)
+        else:
+            message = WriteRequest(
+                self.client_id, register, value, self.timestamp
+            )
+        self.network.send(
+            self.client_id, replica, message,
+            metadata_counters=len(self.timestamp),
+        )
+
+    def on_message(self, src: ReplicaId, message: Any) -> None:
+        if self._outstanding is None:  # pragma: no cover - wiring guard
+            raise ProtocolError("response without outstanding request")
+        kind, register, replica = self._outstanding
+        self._outstanding = None
+        now = self.network.simulator.now
+        # merge1 = merge2: element-wise max over the replica's index.
+        counters = {
+            e: max(self.timestamp[e], message.timestamp.get(e, 0))
+            if e in message.timestamp
+            else self.timestamp[e]
+            for e in self.timestamp.index
+        }
+        self.timestamp = Timestamp(counters)
+        if isinstance(message, ReadResponse):
+            self.completed.append(
+                CompletedOp("read", register, message.value, replica, now)
+            )
+        elif isinstance(message, WriteResponse):
+            self.completed.append(
+                CompletedOp(
+                    "write", register, None, replica, now, uid=message.uid
+                )
+            )
+        else:  # pragma: no cover - wiring guard
+            raise ProtocolError(f"unexpected response {message!r}")
+        if self.queue:
+            self.network.simulator.schedule(self.think_time, self._send_next)
+
+    @property
+    def done(self) -> bool:
+        return not self.queue and self._outstanding is None
+
+    def __repr__(self) -> str:
+        return f"CSClient({self.client_id!r}, {len(self.queue)} queued)"
+
+
+# ----------------------------------------------------------------------
+# System wiring
+# ----------------------------------------------------------------------
+class ClientServerSystem:
+    """A complete simulated client-server DSM (Figure 1b)."""
+
+    def __init__(
+        self,
+        placements: Mapping[ReplicaId, Any],
+        clients: Mapping[ClientId, Any],
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        max_loop_len: Optional[int] = None,
+        think_time: float = 0.0,
+        selection: str = "random",
+    ) -> None:
+        self.graph = (
+            placements
+            if isinstance(placements, ShareGraph)
+            else ShareGraph(placements)
+        )
+        self.assignment = ClientAssignment(self.graph, clients)
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(self.simulator, delay_model=delay_model)
+        self.history = History()
+        graphs = all_augmented_timestamp_graphs(
+            self.graph, self.assignment, max_loop_len=max_loop_len
+        )
+        peer_edges = {r: g.edges for r, g in graphs.items()}
+        self.replicas: Dict[ReplicaId, CSReplica] = {
+            rid: CSReplica(
+                rid,
+                self.graph,
+                graphs[rid].edges,
+                peer_edges,
+                self.network,
+                self.history,
+            )
+            for rid in self.graph.replicas
+        }
+        self.clients: Dict[ClientId, CSClient] = {}
+        for cid in self.assignment.clients:
+            edges: Set[Edge] = set()
+            for r in self.assignment.replicas_of(cid):
+                edges |= graphs[r].edges
+            self.clients[cid] = CSClient(
+                cid,
+                self.graph,
+                self.assignment,
+                frozenset(edges),
+                self.network,
+                think_time=think_time,
+                selection=selection,
+            )
+
+    def client(self, client_id: ClientId) -> CSClient:
+        try:
+            return self.clients[client_id]
+        except KeyError:
+            raise ConfigurationError(f"no client {client_id!r}") from None
+
+    def replica(self, replica_id: ReplicaId) -> CSReplica:
+        try:
+            return self.replicas[replica_id]
+        except KeyError:
+            raise ConfigurationError(f"no replica {replica_id!r}") from None
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Start every client's program and run the simulation."""
+        for client in self.clients.values():
+            client.start()
+        self.simulator.run(until=until, max_events=max_events)
+
+    def all_clients_done(self) -> bool:
+        """Liveness clause 2 of Definition 26: every request returned."""
+        return all(c.done for c in self.clients.values())
+
+    def check(self, require_liveness: bool = True):
+        """Verify Definition 26 (including session safety)."""
+        from repro.checker import check_history
+
+        return check_history(
+            self.history, self.graph, require_liveness=require_liveness
+        )
+
+    def metadata_counters(self) -> Dict[ReplicaId, int]:
+        """Timestamp length per replica under the augmented timestamp graph."""
+        return {rid: len(r.edges) for rid, r in self.replicas.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientServerSystem({len(self.replicas)} replicas, "
+            f"{len(self.clients)} clients)"
+        )

@@ -1,0 +1,14 @@
+"""Causal+ convergence: last-writer-wins on top of causal consistency.
+
+The paper's causal memory lets concurrent writes leave different values
+at different replicas forever.  Systems the paper builds on (COPS,
+Orbe, GentleRain) layer *convergent conflict handling* on top -- causal+
+consistency.  :class:`LWWSystem` adds exactly that: every value carries a
+``(logical time, writer, sequence)`` tag and replicas keep the largest,
+so all copies of a register converge once writes stop, while delivery
+order (and hence the causal guarantees) is untouched.
+"""
+
+from repro.convergence.lww import LWWSystem, Tagged
+
+__all__ = ["LWWSystem", "Tagged"]

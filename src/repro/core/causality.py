@@ -1,0 +1,238 @@
+"""Happened-before tracking (Definition 1) and causal pasts (Definition 6).
+
+:class:`History` is an append-only log of *issue* and *apply* events.  It is
+maintained by the system wiring, **outside** the replicas, so the
+consistency checker never trusts protocol metadata: happened-before is
+recomputed from the definition alone.
+
+Definition 1: ``u1 -> u2`` iff u1 was applied at some replica before that
+same replica issued u2, closed transitively.  Because issuing an update
+also applies it at the issuer (Section 2.1, step 2), the causal past of an
+update is exactly the set of updates applied at its issuer at issue time.
+The log therefore maintains, per replica, a running bitmask of applied
+updates; an update's causal past is the issuer's mask snapshotted at issue
+time.  Bitmasks (arbitrary-precision ints) make transitive queries O(1)
+after O(total applies) maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ProtocolError
+from repro.types import RegisterName, ReplicaId, UpdateId
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """Static facts about one update, fixed at issue time."""
+
+    uid: UpdateId
+    register: RegisterName
+    issue_time: float
+    metadata_only: bool = False
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One issue/apply/access occurrence, in global log order.
+
+    ``access`` events (client-server architecture, Definition 25) carry a
+    ``client`` and no ``uid``: they mark a client's read/write completing
+    at a replica, which propagates that replica's causal past to the
+    client.
+    """
+
+    kind: str  # "issue" | "apply" | "access"
+    replica: ReplicaId
+    uid: Optional[UpdateId]
+    time: float
+    position: int  # global sequence number in record order
+    client: Optional[object] = None
+
+
+class History:
+    """Append-only issue/apply log with happened-before queries."""
+
+    def __init__(self) -> None:
+        self.events: List[HistoryEvent] = []
+        self.updates: Dict[UpdateId, UpdateRecord] = {}
+        self._bit: Dict[UpdateId, int] = {}
+        self._uid_order: List[UpdateId] = []
+        self._past_mask: Dict[UpdateId, int] = {}
+        self._applied_mask: Dict[ReplicaId, int] = {}
+        self._applied_at: Dict[UpdateId, Set[ReplicaId]] = {}
+        self._client_mask: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_issue(
+        self,
+        replica: ReplicaId,
+        uid: UpdateId,
+        register: RegisterName,
+        time: float,
+        metadata_only: bool = False,
+        client: Optional[object] = None,
+    ) -> None:
+        """Record replica *replica* issuing ``uid`` (which also applies it).
+
+        In the client-server architecture a write is issued on behalf of a
+        ``client``; the update's causal past then additionally contains
+        everything the client picked up at previously accessed replicas
+        (Definition 25, condition (ii)).
+        """
+        if uid in self.updates:
+            raise ProtocolError(f"update {uid} issued twice")
+        if uid.issuer != replica:
+            raise ProtocolError(
+                f"update {uid} issued at {replica!r} but names issuer {uid.issuer!r}"
+            )
+        index = len(self._uid_order)
+        self._uid_order.append(uid)
+        self._bit[uid] = 1 << index
+        self.updates[uid] = UpdateRecord(uid, register, time, metadata_only)
+        mask = self._applied_mask.get(replica, 0)
+        if client is not None:
+            mask |= self._client_mask.get(client, 0)
+        self._past_mask[uid] = mask
+        self._append(
+            HistoryEvent(
+                "issue", replica, uid, time, len(self.events), client=client
+            )
+        )
+        # Issuing applies the update at the issuer (prototype step 2).
+        self._mark_applied(replica, uid)
+
+    def record_client_access(
+        self, client: object, replica: ReplicaId, time: float
+    ) -> None:
+        """Record client *client* completing an operation at *replica*.
+
+        The client's causal past grows by the replica's: any update the
+        client later issues (anywhere) will causally depend on everything
+        applied at this replica so far (Definition 25, condition (ii)).
+        """
+        self._append(
+            HistoryEvent(
+                "access", replica, None, time, len(self.events), client=client
+            )
+        )
+        self._client_mask[client] = (
+            self._client_mask.get(client, 0)
+            | self._applied_mask.get(replica, 0)
+        )
+
+    def client_causal_past(self, client: object) -> FrozenSet[UpdateId]:
+        """All updates in the client's accumulated causal past."""
+        return self._mask_to_set(self._client_mask.get(client, 0))
+
+    def record_apply(self, replica: ReplicaId, uid: UpdateId, time: float) -> None:
+        """Record replica *replica* applying a remote update ``uid``."""
+        if uid not in self.updates:
+            raise ProtocolError(f"update {uid} applied before being issued")
+        if replica in self._applied_at.get(uid, ()):  # pragma: no cover - guard
+            raise ProtocolError(f"update {uid} applied twice at {replica!r}")
+        self._append(HistoryEvent("apply", replica, uid, time, len(self.events)))
+        self._mark_applied(replica, uid)
+
+    def _append(self, event: HistoryEvent) -> None:
+        self.events.append(event)
+
+    def _mark_applied(self, replica: ReplicaId, uid: UpdateId) -> None:
+        grow = self._past_mask[uid] | self._bit[uid]
+        self._applied_mask[replica] = self._applied_mask.get(replica, 0) | grow
+        self._applied_at.setdefault(uid, set()).add(replica)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def happened_before(self, u1: UpdateId, u2: UpdateId) -> bool:
+        """``u1 -> u2`` per Definition 1."""
+        return bool(self._bit[u1] & self._past_mask[u2])
+
+    def concurrent(self, u1: UpdateId, u2: UpdateId) -> bool:
+        """Neither ``u1 -> u2`` nor ``u2 -> u1`` (and u1 != u2)."""
+        return (
+            u1 != u2
+            and not self.happened_before(u1, u2)
+            and not self.happened_before(u2, u1)
+        )
+
+    def causal_past(self, uid: UpdateId) -> FrozenSet[UpdateId]:
+        """All updates that happened-before ``uid``."""
+        return self._mask_to_set(self._past_mask[uid])
+
+    def replica_causal_past(self, replica: ReplicaId) -> FrozenSet[UpdateId]:
+        """Set ``S`` of Definition 6 for the replica's current state.
+
+        This is the set of updates applied at the replica plus everything
+        that happened-before them (the latter is included automatically
+        because applying ``u`` grows the mask by ``past(u) | {u}``).
+        """
+        return self._mask_to_set(self._applied_mask.get(replica, 0))
+
+    def dependency_graph(
+        self, replica: ReplicaId
+    ) -> Tuple[FrozenSet[UpdateId], FrozenSet[Tuple[UpdateId, UpdateId]]]:
+        """Causal dependency graph ``R`` of Definition 6 (vertices, edges)."""
+        vertices = self.replica_causal_past(replica)
+        edges = frozenset(
+            (u1, u2)
+            for u1 in vertices
+            for u2 in vertices
+            if u1 != u2 and self.happened_before(u1, u2)
+        )
+        return vertices, edges
+
+    def applied_at(self, uid: UpdateId) -> FrozenSet[ReplicaId]:
+        """Replicas that have applied ``uid`` so far (issuer included)."""
+        return frozenset(self._applied_at.get(uid, ()))
+
+    def all_updates(self) -> Tuple[UpdateId, ...]:
+        """Every issued update, in issue order."""
+        return tuple(self._uid_order)
+
+    def updates_by(self, replica: ReplicaId) -> Tuple[UpdateId, ...]:
+        """Updates issued by one replica, in issue order."""
+        return tuple(u for u in self._uid_order if u.issuer == replica)
+
+    def events_at(self, replica: ReplicaId) -> Iterator[HistoryEvent]:
+        """The replica's local event sequence, in execution order."""
+        return (e for e in self.events if e.replica == replica)
+
+    def bit_of(self, uid: UpdateId) -> int:
+        """Internal bit for ``uid`` (exposed for the checker's fast path)."""
+        return self._bit[uid]
+
+    def past_mask_of(self, uid: UpdateId) -> int:
+        """Bitmask of ``uid``'s causal past (checker fast path)."""
+        return self._past_mask[uid]
+
+    def _mask_to_set(self, mask: int) -> FrozenSet[UpdateId]:
+        out = []
+        index = 0
+        while mask:
+            if mask & 1:
+                out.append(self._uid_order[index])
+            mask >>= 1
+            index += 1
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"History({len(self._uid_order)} updates, {len(self.events)} events)"
+        )

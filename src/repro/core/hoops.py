@@ -1,0 +1,248 @@
+"""Helary & Milani's hoops and minimal hoops (Section 3.2, Appendix A).
+
+Definition 17 (hoop): for a register ``x`` and replicas ``r_a, r_b`` in
+``C(x)``, an *x-hoop* is a share-graph path ``(r_a, r_1, ..., r_{k-1},
+r_b)`` whose interior vertices do not store ``x`` and whose consecutive
+pairs share some register other than ``x``.
+
+Definition 18 (minimal hoop): an x-hoop is *minimal* iff (i) its edges can
+be labelled with pairwise distinct registers and (ii) no label is shared by
+both endpoints ``r_a`` and ``r_b``.
+
+Definition 20 (modified minimal hoop): as above, but (ii) becomes "no label
+is stored by more than two replicas *of the hoop*".
+
+The paper shows the Helary-Milani claim (Lemma 11/19: a replica must
+transmit information about ``x`` iff it stores ``x`` or belongs to a
+minimal x-hoop) is wrong in both versions -- Figures 6/8a and 8b.  This
+module implements both definitions so the counter-example experiments can
+compare them against the timestamp graph of Definition 5, and so the
+hoop-based baseline policy can be constructed.
+
+Label assignments reduce to finding a system of distinct representatives,
+solved with Kuhn's bipartite matching.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.share_graph import ShareGraph
+from repro.types import Edge, RegisterName, ReplicaId
+
+Path = Tuple[ReplicaId, ...]
+
+
+def x_hoops(
+    graph: ShareGraph,
+    x: RegisterName,
+    r_a: ReplicaId,
+    r_b: ReplicaId,
+    max_len: Optional[int] = None,
+) -> Iterator[Path]:
+    """Enumerate x-hoops between ``r_a`` and ``r_b`` (Definition 17).
+
+    ``max_len`` bounds the number of vertices on the path.  Interior
+    vertices must not store ``x``; each hop must share a register != x.
+    """
+    storing = graph.replicas_storing(x)
+    if r_a not in storing or r_b not in storing:
+        return
+    limit = max_len if max_len is not None else len(graph)
+
+    path: List[ReplicaId] = [r_a]
+    on_path: Set[ReplicaId] = {r_a}
+
+    def hop_ok(u: ReplicaId, v: ReplicaId) -> bool:
+        return bool(graph.shared(u, v) - {x})
+
+    def extend() -> Iterator[Path]:
+        current = path[-1]
+        for nxt in graph.neighbors(current):
+            if not hop_ok(current, nxt):
+                continue
+            if nxt == r_b:
+                if len(path) >= 2:  # at least one interior vertex
+                    yield tuple(path) + (r_b,)
+                continue
+            if nxt in on_path or nxt in storing or len(path) >= limit - 1:
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            yield from extend()
+            path.pop()
+            on_path.remove(nxt)
+
+    yield from extend()
+
+
+def _find_distinct_labels(
+    label_sets: Sequence[FrozenSet[RegisterName]],
+) -> Optional[Tuple[RegisterName, ...]]:
+    """A system of distinct representatives, or None (Kuhn's matching)."""
+    labels = sorted(
+        {lab for s in label_sets for lab in s}, key=lambda v: (str(type(v)), repr(v))
+    )
+    label_index = {lab: idx for idx, lab in enumerate(labels)}
+    match_of_label: Dict[int, int] = {}
+
+    def try_assign(edge_idx: int, visited: Set[int]) -> bool:
+        for lab in label_sets[edge_idx]:
+            li = label_index[lab]
+            if li in visited:
+                continue
+            visited.add(li)
+            if li not in match_of_label or try_assign(
+                match_of_label[li], visited
+            ):
+                match_of_label[li] = edge_idx
+                return True
+        return False
+
+    for edge_idx in range(len(label_sets)):
+        if not try_assign(edge_idx, set()):
+            return None
+    chosen: List[RegisterName] = [None] * len(label_sets)  # type: ignore[list-item]
+    for li, edge_idx in match_of_label.items():
+        chosen[edge_idx] = labels[li]
+    return tuple(chosen)
+
+
+def minimal_hoop_labels(
+    graph: ShareGraph, x: RegisterName, hoop: Path
+) -> Optional[Tuple[RegisterName, ...]]:
+    """Distinct edge labels satisfying Definition 18, or ``None``.
+
+    Condition (ii): labels must not be shared by both endpoints, i.e. must
+    avoid ``X_{r_a r_b}``.
+    """
+    r_a, r_b = hoop[0], hoop[-1]
+    forbidden = graph.shared(r_a, r_b) | {x}
+    label_sets = [
+        frozenset(graph.shared(u, v) - forbidden)
+        for u, v in zip(hoop, hoop[1:])
+    ]
+    if any(not s for s in label_sets):
+        return None
+    return _find_distinct_labels(label_sets)
+
+
+def is_minimal_hoop(graph: ShareGraph, x: RegisterName, hoop: Path) -> bool:
+    """Definition 18: the original Helary-Milani minimality condition."""
+    return minimal_hoop_labels(graph, x, hoop) is not None
+
+
+def modified_minimal_hoop_labels(
+    graph: ShareGraph, x: RegisterName, hoop: Path
+) -> Optional[Tuple[RegisterName, ...]]:
+    """Distinct edge labels satisfying Definition 20, or ``None``.
+
+    Condition (ii): a label may be stored by at most two replicas of the
+    hoop.
+    """
+    members = set(hoop)
+
+    def allowed(label: RegisterName) -> bool:
+        holders = graph.replicas_storing(label) & members
+        return len(holders) <= 2
+
+    label_sets = [
+        frozenset(
+            lab for lab in graph.shared(u, v) - {x} if allowed(lab)
+        )
+        for u, v in zip(hoop, hoop[1:])
+    ]
+    if any(not s for s in label_sets):
+        return None
+    return _find_distinct_labels(label_sets)
+
+
+def is_modified_minimal_hoop(
+    graph: ShareGraph, x: RegisterName, hoop: Path
+) -> bool:
+    """Definition 20: the modified minimality condition (also insufficient)."""
+    return modified_minimal_hoop_labels(graph, x, hoop) is not None
+
+
+def belongs_to_minimal_x_hoop(
+    graph: ShareGraph,
+    replica: ReplicaId,
+    x: RegisterName,
+    modified: bool = False,
+    max_len: Optional[int] = None,
+) -> bool:
+    """Is ``replica`` an interior vertex of some minimal x-hoop?
+
+    This is the "belongs to a minimal x-hoop" predicate of Lemma 11/19.
+    Endpoints store ``x`` and are covered by the "stores x" clause, so only
+    interior membership matters here.
+    """
+    check = is_modified_minimal_hoop if modified else is_minimal_hoop
+    storing = sorted(
+        graph.replicas_storing(x), key=lambda v: (str(type(v)), repr(v))
+    )
+    for ia, r_a in enumerate(storing):
+        for r_b in storing[ia + 1 :]:
+            for hoop in x_hoops(graph, x, r_a, r_b, max_len=max_len):
+                if replica in hoop[1:-1] and check(graph, x, hoop):
+                    return True
+    return False
+
+
+def hoop_tracked_registers(
+    graph: ShareGraph,
+    replica: ReplicaId,
+    modified: bool = False,
+    max_len: Optional[int] = None,
+) -> FrozenSet[RegisterName]:
+    """Registers replica must "transmit information about" per Lemma 11/19.
+
+    Stored registers plus registers whose minimal hoops pass through the
+    replica.  Used by the hoop-based baseline policy for the metadata
+    comparison against Definition 5.
+    """
+    tracked = set(graph.registers_at(replica))
+    for x in graph.registers:
+        if x in tracked:
+            continue
+        if belongs_to_minimal_x_hoop(
+            graph, replica, x, modified=modified, max_len=max_len
+        ):
+            tracked.add(x)
+    return frozenset(tracked)
+
+
+def hoop_tracked_edges(
+    graph: ShareGraph,
+    replica: ReplicaId,
+    modified: bool = False,
+    max_len: Optional[int] = None,
+) -> FrozenSet[Edge]:
+    """Edge-indexed rendering of the Helary-Milani condition.
+
+    Lemma 11/19 is stated per *register*; to compare metadata against the
+    edge-indexed timestamp graph we convert it to edges: replica *i* tracks
+    ``e_jk`` iff some register of ``X_jk`` is in its tracked-register set.
+    Incident edges are always included (they correspond to registers the
+    replica stores).
+    """
+    tracked = hoop_tracked_registers(
+        graph, replica, modified=modified, max_len=max_len
+    )
+    edges: Set[Edge] = set()
+    for (j, k) in graph.edges:
+        if graph.shared(j, k) & tracked:
+            edges.add((j, k))
+    for n in graph.neighbors(replica):
+        edges.add((replica, n))
+        edges.add((n, replica))
+    return frozenset(edges)

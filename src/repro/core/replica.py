@@ -1,0 +1,358 @@
+"""The replica prototype of Section 2.1.
+
+A :class:`Replica` implements the four steps of the prototype literally:
+
+1. ``read(x)`` returns the local copy of ``x``.
+2. ``write(x, v)`` atomically writes locally, advances the timestamp via
+   the policy, multicasts ``update(i, tau_i, x, v)`` to every replica
+   storing ``x``, and acks the client.
+3. A received update is buffered in ``pending``.
+4. Whenever the policy's predicate ``J`` fires for a pending update, the
+   update is applied, the timestamp merged, and the entry removed -- in a
+   loop, since one application may unblock others.
+
+Everything algorithm-specific (timestamp structure, ``advance``, ``merge``,
+``J``) lives in the injected :class:`~repro.core.timestamp.TimestampPolicy`,
+matching the paper's "family of algorithms" framing.
+
+Dummy registers (Appendix D) are supported natively: a register in
+``dummy_registers`` is tracked in the timestamp but has no stored copy; its
+updates arrive as metadata-only messages and never touch the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.causality import History
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import Timestamp, TimestampPolicy
+from repro.errors import ProtocolError, UnknownRegisterError
+from repro.network.transport import Network
+from repro.types import RegisterName, ReplicaId, Update, UpdateId
+from repro.wire.codec import timestamp_wire_bytes
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Persistent state of a replica: everything needed to resume.
+
+    The prototype's only "memory" is the timestamp (Section 2.1), plus
+    the register copies, the write sequence counter, and any buffered
+    updates that had not yet passed predicate J.
+    """
+
+    replica_id: ReplicaId
+    store: Tuple[Tuple[RegisterName, Any], ...]
+    timestamp: Timestamp
+    seq: int
+    pending: Tuple[Tuple[ReplicaId, Update, float], ...]
+
+
+@dataclass
+class ReplicaMetrics:
+    """Per-replica protocol statistics for one run."""
+
+    issued: int = 0
+    applied_remote: int = 0
+    pending_high_water: int = 0
+    pending_wait_total: float = 0.0
+    apply_delays: List[float] = field(default_factory=list)
+
+    @property
+    def mean_apply_delay(self) -> float:
+        """Mean time an update sat in ``pending`` before applying."""
+        if not self.apply_delays:
+            return 0.0
+        return sum(self.apply_delays) / len(self.apply_delays)
+
+
+ApplyHook = Callable[["Replica", ReplicaId, Update], None]
+
+
+class Replica:
+    """One peer's replica: local store + timestamp + pending buffer.
+
+    Parameters
+    ----------
+    replica_id, graph:
+        Identity and the share graph (used for multicast recipients).
+    policy:
+        The timestamp policy (structure + advance/merge/J).
+    network:
+        Transport used for ``update`` messages.
+    history:
+        Global issue/apply log for the checker; may be ``None`` to run
+        without verification overhead.
+    dummy_registers:
+        Registers replica stores only as metadata (Appendix D).  They are
+        part of ``X_i`` in the (augmented) share graph but reads/writes on
+        them are rejected and their values are never stored.
+    on_apply:
+        Optional hook invoked after an update is applied; the virtual
+        register forwarding of Appendix D is built on it.
+    track_timestamps:
+        When true, every distinct timestamp value the replica assigns is
+        collected (Definition 12 experiments).
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        graph: ShareGraph,
+        policy: TimestampPolicy,
+        network: Network,
+        history: Optional[History] = None,
+        dummy_registers: AbstractSet[RegisterName] = frozenset(),
+        on_apply: Optional[ApplyHook] = None,
+        track_timestamps: bool = False,
+        initial_timestamp: Optional[Timestamp] = None,
+        initial_seq: int = 0,
+        initial_store: Optional[Dict[RegisterName, Any]] = None,
+        value_merge: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.graph = graph
+        self.policy = policy
+        self.network = network
+        self.history = history
+        self.dummy_registers: FrozenSet[RegisterName] = frozenset(dummy_registers)
+        self.on_apply = on_apply
+        self.store: Dict[RegisterName, Any] = {
+            x: None
+            for x in graph.registers_at(replica_id)
+            if x not in self.dummy_registers
+        }
+        if initial_store:
+            for x, value in initial_store.items():
+                if x in self.store:
+                    self.store[x] = value
+        self.timestamp: Timestamp = (
+            initial_timestamp if initial_timestamp is not None
+            else policy.initial()
+        )
+        self.pending: List[Tuple[ReplicaId, Update, float]] = []
+        self.metrics = ReplicaMetrics()
+        self._seq = initial_seq
+        self._timestamps_used: Optional[Set[Timestamp]] = (
+            {self.timestamp} if track_timestamps else None
+        )
+        self._dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {}
+        self._paused = False
+        self._value_merge = value_merge
+        network.register(replica_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Client operations (prototype steps 1-2)
+    # ------------------------------------------------------------------
+    def read(self, register: RegisterName) -> Any:
+        """Step 1: return the local copy of ``register``."""
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        return self.store[register]
+
+    def write(
+        self, register: RegisterName, value: Any, payload: Any = None
+    ) -> UpdateId:
+        """Step 2: local write + advance + multicast; returns the update id.
+
+        ``payload`` piggybacks opaque data on the update message (the
+        virtual-register mechanism of Appendix D); it is delivered to the
+        ``on_apply`` hook at each receiver.
+        """
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        self._seq += 1
+        uid = UpdateId(self.replica_id, self._seq)
+        self.store[register] = value
+        self.timestamp = self.policy.advance(self.timestamp, register)
+        self._note_timestamp()
+        self.metrics.issued += 1
+        now = self.network.simulator.now
+        if self.history is not None:
+            self.history.record_issue(self.replica_id, uid, register, now)
+        for k in self.graph.recipients(self.replica_id, register):
+            self._send_update(k, uid, register, value, payload)
+        return uid
+
+    def _send_update(
+        self,
+        dst: ReplicaId,
+        uid: UpdateId,
+        register: RegisterName,
+        value: Any,
+        payload: Any = None,
+    ) -> None:
+        # Appendix D: replicas holding `register` only as a dummy receive
+        # metadata without the value.
+        meta_only = register in _dummy_set(self.graph, dst, self._dummy_of(dst))
+        update = Update(
+            uid=uid,
+            register=register,
+            value=None if meta_only else value,
+            timestamp=self.timestamp,
+            metadata_only=meta_only,
+            payload=payload,
+        )
+        self.network.send(
+            self.replica_id,
+            dst,
+            update,
+            metadata_counters=len(self.timestamp),
+            wire_bytes=timestamp_wire_bytes(self.timestamp),
+        )
+
+    def set_dummy_map(self, mapping: Dict[ReplicaId, FrozenSet[RegisterName]]) -> None:
+        """Install the cluster-wide dummy-register map (system wiring)."""
+        self._dummy_map = dict(mapping)
+
+    def _dummy_of(self, replica: ReplicaId) -> FrozenSet[RegisterName]:
+        return self._dummy_map.get(replica, frozenset())
+
+    # ------------------------------------------------------------------
+    # Update reception (prototype steps 3-4)
+    # ------------------------------------------------------------------
+    def on_message(self, src: ReplicaId, update: Update) -> None:
+        """Step 3: buffer the update, then step 4: drain what's ready."""
+        if not isinstance(update, Update):  # pragma: no cover - wiring guard
+            raise ProtocolError(f"unexpected message {update!r}")
+        self.pending.append((src, update, self.network.simulator.now))
+        self.metrics.pending_high_water = max(
+            self.metrics.pending_high_water, len(self.pending)
+        )
+        if not self._paused:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Apply pending updates whose predicate J holds, to fixpoint."""
+        progress = True
+        while progress:
+            progress = False
+            for index, (src, update, arrived) in enumerate(self.pending):
+                if self.policy.ready(self.timestamp, src, update.timestamp):
+                    del self.pending[index]
+                    self._apply(src, update, arrived)
+                    progress = True
+                    break
+
+    def _apply(self, src: ReplicaId, update: Update, arrived: float) -> None:
+        register = update.register
+        if register in self.store:
+            if not update.metadata_only:
+                # Optional conflict resolution (e.g. last-writer-wins for
+                # the causal+ convergence layer); plain causal memory
+                # just overwrites.
+                if self._value_merge is not None:
+                    self.store[register] = self._value_merge(
+                        self.store[register], update.value
+                    )
+                else:
+                    self.store[register] = update.value
+        elif register not in self.dummy_registers:
+            raise ProtocolError(
+                f"replica {self.replica_id!r} received update for "
+                f"unstored register {register!r}"
+            )
+        self.timestamp = self.policy.merge(self.timestamp, src, update.timestamp)
+        self._note_timestamp()
+        now = self.network.simulator.now
+        self.metrics.applied_remote += 1
+        self.metrics.apply_delays.append(now - arrived)
+        self.metrics.pending_wait_total += now - arrived
+        if self.history is not None:
+            self.history.record_apply(self.replica_id, update.uid, now)
+        if self.on_apply is not None:
+            self.on_apply(self, src, update)
+
+    # ------------------------------------------------------------------
+    # Pause / resume and snapshots (crash-recovery support)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop applying updates; arriving messages buffer in ``pending``.
+
+        Models a slow or recovering replica.  Channels stay reliable (the
+        paper's model has no message loss), so nothing is dropped.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume applying; drains everything that became ready."""
+        self._paused = False
+        self._drain()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def snapshot(self) -> ReplicaSnapshot:
+        """Capture all persistent state (for crash-recovery tests/tools)."""
+        return ReplicaSnapshot(
+            replica_id=self.replica_id,
+            store=tuple(sorted(self.store.items(), key=lambda kv: str(kv[0]))),
+            timestamp=self.timestamp,
+            seq=self._seq,
+            pending=tuple(self.pending),
+        )
+
+    def restore(self, snapshot: ReplicaSnapshot) -> None:
+        """Reset to a snapshot taken from this replica, then drain.
+
+        Updates delivered after the snapshot are *not* replayed by this
+        call -- in the paper's model channels are reliable, so a real
+        recovery pairs this with the transport re-delivering what was in
+        flight.  The tests exercise the supported pattern: pause, snapshot,
+        keep receiving (buffered), restore + resume.
+        """
+        if snapshot.replica_id != self.replica_id:
+            raise ProtocolError(
+                f"snapshot of {snapshot.replica_id!r} cannot restore "
+                f"replica {self.replica_id!r}"
+            )
+        self.store = dict(snapshot.store)
+        self.timestamp = snapshot.timestamp
+        self._seq = snapshot.seq
+        self.pending = list(snapshot.pending)
+        if not self._paused:
+            self._drain()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _note_timestamp(self) -> None:
+        if self._timestamps_used is not None:
+            self._timestamps_used.add(self.timestamp)
+
+    @property
+    def timestamps_used(self) -> FrozenSet[Timestamp]:
+        """Distinct timestamp values assigned so far (when tracked)."""
+        if self._timestamps_used is None:
+            raise ProtocolError("timestamp tracking was not enabled")
+        return frozenset(self._timestamps_used)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica({self.replica_id!r}, {len(self.store)} registers, "
+            f"{len(self.pending)} pending)"
+        )
+
+
+def _dummy_set(
+    graph: ShareGraph, replica: ReplicaId, declared: FrozenSet[RegisterName]
+) -> FrozenSet[RegisterName]:
+    """Registers of ``replica`` that are dummies (declared ∩ stored)."""
+    return declared & graph.registers_at(replica)

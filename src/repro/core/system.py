@@ -1,0 +1,254 @@
+"""Peer-to-peer DSM system wiring (Figure 1a) and the client API.
+
+:class:`DSMSystem` assembles a simulator, a non-FIFO network, one replica
+per placement entry, and a shared :class:`~repro.core.causality.History`.
+Clients are co-located with replicas (peer-to-peer architecture): a
+``read``/``write`` through :class:`Client` executes synchronously at the
+local replica, exactly as in Section 2.
+
+Typical usage::
+
+    system = DSMSystem({1: {"x"}, 2: {"x", "y"}, 3: {"y"}}, seed=7)
+    system.client(1).write("x", 41)
+    system.run()                     # deliver everything
+    assert system.client(2).read("x") == 41
+    report = system.check()          # replica-centric causal consistency
+    assert report.ok
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.causality import History
+from repro.core.replica import ApplyHook, Replica
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError
+from repro.network.delays import DelayModel
+from repro.network.transport import Network
+from repro.sim.kernel import Simulator
+from repro.types import RegisterName, ReplicaId, UpdateId
+
+PolicyFactory = Callable[[ShareGraph, ReplicaId], TimestampPolicy]
+
+
+class Client:
+    """The client co-located with one replica (peer-to-peer architecture)."""
+
+    def __init__(self, replica: Replica) -> None:
+        self._replica = replica
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        return self._replica.replica_id
+
+    def read(self, register: RegisterName) -> Any:
+        """Read ``register`` from the local replica."""
+        return self._replica.read(register)
+
+    def write(self, register: RegisterName, value: Any) -> UpdateId:
+        """Write ``register`` at the local replica; returns the update id."""
+        return self._replica.write(register, value)
+
+    def __repr__(self) -> str:
+        return f"Client(at={self.replica_id!r})"
+
+
+@dataclass
+class SystemMetrics:
+    """Cross-replica summary of one run."""
+
+    timestamp_counters: Dict[ReplicaId, int]
+    messages_sent: int
+    messages_delivered: int
+    metadata_counters_sent: int
+    metadata_bytes_sent: int
+    issued: int
+    applied_remote: int
+    pending_high_water: int
+    mean_apply_delay: float
+
+    @property
+    def total_counters(self) -> int:
+        """Sum of timestamp lengths across replicas (metadata footprint)."""
+        return sum(self.timestamp_counters.values())
+
+
+class DSMSystem:
+    """A complete simulated partially replicated DSM.
+
+    Parameters
+    ----------
+    placements:
+        Either a ``{replica: register set}`` mapping or a prebuilt
+        :class:`ShareGraph`.
+    policy_factory:
+        Builds the timestamp policy per replica.  Defaults to the paper's
+        :class:`EdgeIndexedPolicy` over the exact timestamp graph, with one
+        shared loop-finder cache.
+    seed, delay_model:
+        Simulation determinism and channel behaviour.
+    dummy_registers:
+        Appendix D dummy placements: ``{replica: registers held as
+        metadata-only}``.  These registers must already be in the
+        replica's placement (use
+        :func:`repro.optimizations.dummy.add_dummy_registers` to build
+        augmented placements conveniently).
+    max_loop_len:
+        Bounded-loop variant for the default policy factory.
+    track_timestamps:
+        Collect distinct timestamps per replica (Definition 12 studies).
+    """
+
+    def __init__(
+        self,
+        placements: Union[ShareGraph, Mapping[ReplicaId, AbstractSet[RegisterName]]],
+        policy_factory: Optional[PolicyFactory] = None,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        dummy_registers: Optional[Mapping[ReplicaId, AbstractSet[RegisterName]]] = None,
+        max_loop_len: Optional[int] = None,
+        track_timestamps: bool = False,
+        on_apply: Optional[ApplyHook] = None,
+    ) -> None:
+        self.graph = (
+            placements
+            if isinstance(placements, ShareGraph)
+            else ShareGraph(placements)
+        )
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(self.simulator, delay_model=delay_model)
+        self.history = History()
+        dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {
+            r: frozenset(regs) for r, regs in (dummy_registers or {}).items()
+        }
+        for r, regs in dummy_map.items():
+            extra = regs - self.graph.registers_at(r)
+            if extra:
+                raise ConfigurationError(
+                    f"dummy registers {sorted(map(repr, extra))} are not in "
+                    f"the placement of replica {r!r}"
+                )
+        if policy_factory is None:
+            graphs = all_timestamp_graphs(self.graph, max_loop_len=max_loop_len)
+
+            def policy_factory(graph: ShareGraph, rid: ReplicaId) -> TimestampPolicy:
+                return EdgeIndexedPolicy(graph, rid, edges=graphs[rid].edges)
+
+        self.replicas: Dict[ReplicaId, Replica] = {}
+        for rid in self.graph.replicas:
+            self.replicas[rid] = Replica(
+                replica_id=rid,
+                graph=self.graph,
+                policy=policy_factory(self.graph, rid),
+                network=self.network,
+                history=self.history,
+                dummy_registers=dummy_map.get(rid, frozenset()),
+                on_apply=on_apply,
+                track_timestamps=track_timestamps,
+            )
+        for replica in self.replicas.values():
+            replica.set_dummy_map(dummy_map)
+        self._clients: Dict[ReplicaId, Client] = {
+            rid: Client(replica) for rid, replica in self.replicas.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def client(self, replica_id: ReplicaId) -> Client:
+        """The client co-located with ``replica_id``."""
+        try:
+            return self._clients[replica_id]
+        except KeyError:
+            raise ConfigurationError(f"no replica {replica_id!r}") from None
+
+    def replica(self, replica_id: ReplicaId) -> Replica:
+        try:
+            return self.replicas[replica_id]
+        except KeyError:
+            raise ConfigurationError(f"no replica {replica_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+    def schedule_write(
+        self,
+        time: float,
+        replica_id: ReplicaId,
+        register: RegisterName,
+        value: Any,
+    ) -> None:
+        """Schedule a client write at absolute virtual time ``time``."""
+        replica = self.replica(replica_id)
+        self.simulator.schedule_at(time, replica.write, register, value)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run the simulation (defaults to running the agenda dry)."""
+        self.simulator.run(until=until, max_events=max_events)
+
+    def quiescent(self) -> bool:
+        """True when no message is in flight and no update is pending."""
+        return self.network.stats.in_flight == 0 and all(
+            r.pending_count == 0 for r in self.replicas.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Verification & metrics
+    # ------------------------------------------------------------------
+    def check(self, require_liveness: bool = True):
+        """Verify replica-centric causal consistency (Definition 2).
+
+        Returns a :class:`repro.checker.CheckResult`.  Liveness is only
+        meaningful once the run has quiesced; pass
+        ``require_liveness=False`` mid-run.
+        """
+        from repro.checker import check_history
+
+        return check_history(
+            self.history, self.graph, require_liveness=require_liveness
+        )
+
+    def metrics(self) -> SystemMetrics:
+        """Aggregate protocol metrics for the run so far."""
+        delays: List[float] = []
+        for r in self.replicas.values():
+            delays.extend(r.metrics.apply_delays)
+        return SystemMetrics(
+            timestamp_counters={
+                rid: r.policy.counters() for rid, r in self.replicas.items()
+            },
+            messages_sent=self.network.stats.messages_sent,
+            messages_delivered=self.network.stats.messages_delivered,
+            metadata_counters_sent=self.network.stats.metadata_counters_sent,
+            metadata_bytes_sent=self.network.stats.metadata_bytes_sent,
+            issued=sum(r.metrics.issued for r in self.replicas.values()),
+            applied_remote=sum(
+                r.metrics.applied_remote for r in self.replicas.values()
+            ),
+            pending_high_water=max(
+                (r.metrics.pending_high_water for r in self.replicas.values()),
+                default=0,
+            ),
+            mean_apply_delay=sum(delays) / len(delays) if delays else 0.0,
+        )
+
+    def __repr__(self) -> str:
+        return f"DSMSystem({len(self.replicas)} replicas)"

@@ -1,0 +1,273 @@
+"""Edge-indexed vector timestamps and the Section 3.3 algorithm.
+
+The paper's algorithm prototype (Section 2.1) leaves three things open: the
+timestamp structure, how ``advance``/``merge`` update it, and the delivery
+predicate ``J``.  A :class:`TimestampPolicy` bundles exactly those three
+choices, so one :class:`~repro.core.replica.Replica` implementation can run
+the paper's algorithm, the baselines, and the deliberately broken variants
+used by the necessity (Theorem 8) experiments.
+
+:class:`EdgeIndexedPolicy` is the paper's proposed algorithm:
+
+* replica *i* keeps an integer counter per edge of its timestamp graph
+  ``E_i`` (initially 0);
+* ``advance(i, tau, x, v)`` increments ``tau[e_ik]`` for every ``k`` with
+  ``x in X_ik``;
+* ``merge(i, tau, k, T)`` takes the element-wise max over ``E_i ∩ E_k``;
+* ``J(i, tau, k, T)`` is true iff ``tau[e_ki] == T[e_ki] - 1`` and
+  ``tau[e_ji] >= T[e_ji]`` for every ``e_ji in E_i ∩ E_k`` with ``j != k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Protocol, Tuple
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_graph
+from repro.errors import ConfigurationError
+from repro.types import Edge, RegisterName, ReplicaId
+
+
+class Timestamp:
+    """An immutable vector timestamp indexed by directed share-graph edges.
+
+    Only the edges in :attr:`index` exist; reading any other edge raises
+    ``KeyError``.  Use :meth:`get` for the tolerant read used by ``merge``.
+    Timestamps hash and compare by value so experiments can count distinct
+    timestamps (Definition 12).
+    """
+
+    __slots__ = ("_counters", "_index", "_hash")
+
+    def __init__(self, counters: Mapping[Edge, int]) -> None:
+        self._counters: Dict[Edge, int] = dict(counters)
+        self._index: FrozenSet[Edge] = frozenset(self._counters)
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def zeros(cls, edges: Iterable[Edge]) -> "Timestamp":
+        return cls({e: 0 for e in edges})
+
+    @property
+    def index(self) -> FrozenSet[Edge]:
+        """The edge set this timestamp is indexed by."""
+        return self._index
+
+    def __getitem__(self, e: Edge) -> int:
+        return self._counters[e]
+
+    def get(self, e: Edge, default: Optional[int] = None) -> Optional[int]:
+        return self._counters.get(e, default)
+
+    def __contains__(self, e: Edge) -> bool:
+        return e in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def items(self) -> Iterable[Tuple[Edge, int]]:
+        return self._counters.items()
+
+    def to_dict(self) -> Dict[Edge, int]:
+        return dict(self._counters)
+
+    def replace(self, changes: Mapping[Edge, int]) -> "Timestamp":
+        """A copy with some counters replaced (must already be indexed)."""
+        for e in changes:
+            if e not in self._counters:
+                raise KeyError(e)
+        merged = dict(self._counters)
+        merged.update(changes)
+        return Timestamp(merged)
+
+    def total(self) -> int:
+        """Sum of all counters (a cheap progress measure)."""
+        return sum(self._counters.values())
+
+    def dominates(self, other: "Timestamp") -> bool:
+        """Element-wise ``>=`` over the shared index."""
+        return all(
+            self._counters[e] >= other._counters[e]
+            for e in self._index & other._index
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._counters == other._counters
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counters.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"e({u},{v})={c}"
+            for (u, v), c in sorted(
+                self._counters.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+            )
+        )
+        return f"Timestamp({inner})"
+
+
+class TimestampPolicy(Protocol):
+    """The three open choices of the algorithm prototype (Section 2.1)."""
+
+    replica_id: ReplicaId
+
+    def initial(self) -> Timestamp:
+        """Suitably initialized timestamp ``tau_i``."""
+        ...
+
+    def advance(self, ts: Timestamp, register: RegisterName) -> Timestamp:
+        """``advance(i, tau_i, x, v)`` -- called on a local write."""
+        ...
+
+    def merge(self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp) -> Timestamp:
+        """``merge(i, tau_i, k, tau_k)`` -- called when applying an update."""
+        ...
+
+    def ready(self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp) -> bool:
+        """Predicate ``J(i, tau_i, k, tau_k)``."""
+        ...
+
+    def counters(self) -> int:
+        """Number of counters this policy maintains (metadata size)."""
+        ...
+
+
+class EdgeIndexedPolicy:
+    """The paper's algorithm (Section 3.3) over an explicit edge set.
+
+    Parameters
+    ----------
+    graph:
+        The share graph.
+    replica_id:
+        The replica this policy belongs to.
+    edges:
+        The edge index set.  Defaults to the replica's timestamp graph
+        ``E_i`` (exact per Definition 5).  Passing a different set yields
+        the baselines: *all* share-graph edges gives Full-Track, a
+        hoop-derived set gives the Helary-Milani comparison, a subset
+        missing a required edge gives the Theorem 8 necessity experiments.
+    max_loop_len:
+        Forwarded to the timestamp-graph computation when ``edges`` is not
+        given (bounded-loop variant of Appendix D).
+    """
+
+    def __init__(
+        self,
+        graph: ShareGraph,
+        replica_id: ReplicaId,
+        edges: Optional[Iterable[Edge]] = None,
+        max_loop_len: Optional[int] = None,
+    ) -> None:
+        if replica_id not in graph:
+            raise ConfigurationError(f"replica {replica_id!r} not in share graph")
+        self.graph = graph
+        self.replica_id = replica_id
+        if edges is None:
+            tg = timestamp_graph(graph, replica_id, max_loop_len=max_loop_len)
+            self.edges: FrozenSet[Edge] = tg.edges
+        else:
+            self.edges = frozenset(edges)
+        incident_in = frozenset(
+            (n, replica_id) for n in graph.neighbors(replica_id)
+        )
+        incident_out = frozenset(
+            (replica_id, n) for n in graph.neighbors(replica_id)
+        )
+        missing = (incident_in | incident_out) - self.edges
+        if missing:
+            # Incident edges are always necessary (Theorem 8 cases 1-2);
+            # dropping them is allowed only for the necessity experiments,
+            # which construct the policy through `unsafe_with_edges`.
+            raise ConfigurationError(
+                f"edge set for replica {replica_id!r} is missing incident "
+                f"edges: {sorted(map(str, missing))}"
+            )
+        self._incoming: Tuple[Edge, ...] = tuple(sorted(
+            incident_in, key=lambda e: (str(e[0]), str(e[1]))
+        ))
+
+    @classmethod
+    def unsafe_with_edges(
+        cls,
+        graph: ShareGraph,
+        replica_id: ReplicaId,
+        edges: Iterable[Edge],
+    ) -> "EdgeIndexedPolicy":
+        """Build a policy over an arbitrary edge set, skipping validation.
+
+        Exists so the Theorem 8 experiments can deliberately drop edges the
+        theorem proves necessary and observe the resulting violation.
+        """
+        policy = cls.__new__(cls)
+        policy.graph = graph
+        policy.replica_id = replica_id
+        policy.edges = frozenset(edges)
+        policy._incoming = tuple(sorted(
+            (
+                (n, replica_id)
+                for n in graph.neighbors(replica_id)
+                if (n, replica_id) in policy.edges
+            ),
+            key=lambda e: (str(e[0]), str(e[1])),
+        ))
+        return policy
+
+    # ------------------------------------------------------------------
+    def initial(self) -> Timestamp:
+        return Timestamp.zeros(self.edges)
+
+    def advance(self, ts: Timestamp, register: RegisterName) -> Timestamp:
+        i = self.replica_id
+        changes: Dict[Edge, int] = {}
+        for e in self.edges:
+            j, k = e
+            if j == i and register in self.graph.shared(i, k):
+                changes[e] = ts[e] + 1
+        return ts.replace(changes)
+
+    def merge(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> Timestamp:
+        changes: Dict[Edge, int] = {}
+        for e in self.edges:
+            other = sender_ts.get(e)
+            if other is not None and other > ts[e]:
+                changes[e] = other
+        return ts.replace(changes)
+
+    def ready(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> bool:
+        i = self.replica_id
+        e_ki = (sender, i)
+        own = ts.get(e_ki)
+        incoming = sender_ts.get(e_ki)
+        if own is None or incoming is None:
+            # The sender edge is not tracked: deliver immediately (this is
+            # only reachable for deliberately crippled policies).
+            pass
+        elif own != incoming - 1:
+            return False
+        for e in self._incoming:
+            j = e[0]
+            if j == sender:
+                continue
+            other = sender_ts.get(e)
+            if other is not None and ts[e] < other:
+                return False
+        return True
+
+    def counters(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeIndexedPolicy(replica={self.replica_id!r}, "
+            f"|E_i|={len(self.edges)})"
+        )

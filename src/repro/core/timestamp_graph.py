@@ -1,0 +1,117 @@
+"""Timestamp graphs (Definition 5).
+
+The timestamp graph ``G_i = (V_i, E_i)`` of replica *i* holds exactly the
+directed share-graph edges replica *i* must track:
+
+* every edge incident at *i* (both directions), plus
+* every edge ``e_jk`` (``j != i != k``) for which an (i, e_jk)-loop exists.
+
+Theorem 8 shows tracking these edges is *necessary*; the algorithm of
+Section 3.3 (see :mod:`repro.core.timestamp`) shows it is *sufficient*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.loops import LoopFinder
+from repro.core.share_graph import ShareGraph
+from repro.types import Edge, ReplicaId
+
+
+@dataclass(frozen=True)
+class TimestampGraph:
+    """The edge set replica ``replica`` keeps counters for.
+
+    ``incident`` and ``loop_edges`` partition ``edges``: incident edges give
+    FIFO-style delivery on *i*'s own channels, loop edges carry causal
+    dependencies around cycles (Section 3.3, "intuition of correctness").
+    """
+
+    replica: ReplicaId
+    incident: FrozenSet[Edge]
+    loop_edges: FrozenSet[Edge]
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """``E_i``: all tracked directed edges."""
+        return self.incident | self.loop_edges
+
+    @property
+    def vertices(self) -> FrozenSet[ReplicaId]:
+        """``V_i``: endpoints of tracked edges."""
+        verts = set()
+        for (u, v) in self.edges:
+            verts.add(u)
+            verts.add(v)
+        return frozenset(verts)
+
+    def __contains__(self, e: Edge) -> bool:
+        return e in self.incident or e in self.loop_edges
+
+    def __len__(self) -> int:
+        return len(self.incident) + len(self.loop_edges)
+
+    def __str__(self) -> str:
+        fmt = lambda es: "{" + ", ".join(
+            f"e({u},{v})" for (u, v) in sorted(es, key=lambda e: (str(e[0]), str(e[1])))
+        ) + "}"
+        return (
+            f"G_{self.replica}: incident={fmt(self.incident)} "
+            f"loops={fmt(self.loop_edges)}"
+        )
+
+
+def timestamp_graph(
+    graph: ShareGraph,
+    replica: ReplicaId,
+    max_loop_len: Optional[int] = None,
+    finder: Optional[LoopFinder] = None,
+) -> TimestampGraph:
+    """Compute ``G_i`` for one replica.
+
+    Parameters
+    ----------
+    graph:
+        The share graph.
+    replica:
+        The replica ``i``.
+    max_loop_len:
+        Optional cap on (i, e_jk)-loop length; ``None`` is exact.  A cap
+        implements the Appendix D "sacrificing causality" variant.
+    finder:
+        Optionally share one :class:`LoopFinder` across calls to reuse its
+        cycle cache.
+    """
+    if finder is None:
+        finder = LoopFinder(graph, max_loop_len=max_loop_len)
+    incident = frozenset(
+        e for n in graph.neighbors(replica) for e in ((replica, n), (n, replica))
+    )
+    loops = frozenset(
+        e for e in finder.loop_edges(replica) if e not in incident
+    )
+    return TimestampGraph(replica=replica, incident=incident, loop_edges=loops)
+
+
+def all_timestamp_graphs(
+    graph: ShareGraph, max_loop_len: Optional[int] = None
+) -> Dict[ReplicaId, TimestampGraph]:
+    """Timestamp graphs of every replica, sharing one loop-finder cache."""
+    finder = LoopFinder(graph, max_loop_len=max_loop_len)
+    return {
+        r: timestamp_graph(graph, r, finder=finder) for r in graph.replicas
+    }
+
+
+def metadata_summary(
+    graph: ShareGraph, max_loop_len: Optional[int] = None
+) -> Dict[ReplicaId, Tuple[int, int]]:
+    """Per replica: ``(incident counters, loop counters)`` -- the raw
+    timestamp length before compression.  Used by the overhead experiments.
+    """
+    graphs = all_timestamp_graphs(graph, max_loop_len=max_loop_len)
+    return {
+        r: (len(g.incident), len(g.loop_edges)) for r, g in graphs.items()
+    }

@@ -1,0 +1,13 @@
+"""Dynamic replication: epoch-based reconfiguration (the paper's future
+work -- Section 2 fixes the static case; this package lifts it).
+
+:class:`ReconfigurableDSMSystem` changes the placement at a quiescent
+barrier: timestamp graphs are recomputed, counters re-seeded from the
+authoritative per-issuer update counts, and newly placed registers are
+state-transferred from a current holder.  Safety and liveness continue to
+hold across epochs, which the tests verify with the standard checker.
+"""
+
+from repro.dynamic.reconfig import ReconfigurableDSMSystem
+
+__all__ = ["ReconfigurableDSMSystem"]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system, share graph, or policy was configured inconsistently."""
+
+
+class UnknownReplicaError(ConfigurationError):
+    """A replica identifier does not exist in the share graph."""
+
+    def __init__(self, replica_id: object) -> None:
+        super().__init__(f"unknown replica: {replica_id!r}")
+        self.replica_id = replica_id
+
+
+class UnknownRegisterError(ReproError):
+    """A register is not stored at the replica that was asked about it."""
+
+    def __init__(self, register: object, replica_id: object) -> None:
+        super().__init__(
+            f"register {register!r} is not stored at replica {replica_id!r}"
+        )
+        self.register = register
+        self.replica_id = replica_id
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A replica or client observed a protocol invariant violation."""
+
+
+class ConsistencyViolation(ReproError):
+    """Raised by the checker (in strict mode) on a safety/liveness breach."""
+
+    def __init__(self, violations: list) -> None:
+        lines = "\n".join(str(v) for v in violations)
+        super().__init__(f"causal consistency violated:\n{lines}")
+        self.violations = list(violations)
+
+
+class CompressionError(ReproError):
+    """A timestamp could not be compressed or decompressed."""
+
+
+class InconsistentCountsError(CompressionError):
+    """Edge counters do not satisfy the linear dependencies of the placement.
+
+    Appendix D notes that compression is only possible when the per-edge
+    update counts are *consistent*; this error signals the fallback path.
+    """

@@ -1,0 +1,15 @@
+"""Experiment harness: sweeps, metrics, and table rendering.
+
+Each experiment of the E1-E14 index (see DESIGN.md) has a function in
+:mod:`repro.harness.experiments` returning a :class:`Table`; the benchmark
+modules call these and print the rows the paper's figures/claims imply.
+"""
+
+from repro.harness.report import Table
+from repro.harness.sweeps import (
+    metadata_comparison,
+    protocol_run,
+    run_summary,
+)
+
+__all__ = ["Table", "metadata_comparison", "protocol_run", "run_summary"]

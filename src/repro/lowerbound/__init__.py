@@ -1,0 +1,44 @@
+"""Lower bounds on timestamp size (Section 4).
+
+* :mod:`repro.lowerbound.closed_form` -- the closed-form bounds the paper
+  states for trees, cycles and cliques, plus the structure predicates.
+* :mod:`repro.lowerbound.conflict` -- Definition 13 conflicts, conflict
+  graphs over (count-abstracted) causal pasts, and the chromatic /
+  clique-number bound of Theorem 15.
+"""
+
+from repro.lowerbound.closed_form import (
+    algorithm_counters,
+    clique_timestamp_space,
+    cycle_lower_bound_bits,
+    cycle_lower_bound_counters,
+    is_clique,
+    is_cycle,
+    is_tree,
+    tree_lower_bound_bits,
+    tree_lower_bound_counters,
+)
+from repro.lowerbound.conflict import (
+    CausalPastVector,
+    clique_number_bound,
+    conflict_graph,
+    conflicts,
+    greedy_chromatic_upper_bound,
+)
+
+__all__ = [
+    "algorithm_counters",
+    "clique_timestamp_space",
+    "cycle_lower_bound_bits",
+    "cycle_lower_bound_counters",
+    "is_clique",
+    "is_cycle",
+    "is_tree",
+    "tree_lower_bound_bits",
+    "tree_lower_bound_counters",
+    "CausalPastVector",
+    "clique_number_bound",
+    "conflict_graph",
+    "conflicts",
+    "greedy_chromatic_upper_bound",
+]

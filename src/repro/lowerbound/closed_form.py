@@ -1,0 +1,93 @@
+"""Closed-form timestamp-size lower bounds (Section 4, "Implication").
+
+* Tree share graph: ``2 * N_i * log m`` bits for replica *i* (``N_i``
+  neighbours, ``m`` updates per replica) -- i.e. ``2 * N_i`` counters.
+* Cycle of ``n`` replicas: ``2n * log m`` bits -- ``2n`` counters each.
+* Clique with identical register sets (full replication): timestamp space
+  at least ``m^R``, met by classic vector clocks.
+
+These are tight: the paper's algorithm uses timestamps of exactly these
+sizes, which :func:`algorithm_counters` lets experiments confirm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_graph
+from repro.errors import ConfigurationError
+from repro.types import ReplicaId
+
+
+def _undirected_edge_count(graph: ShareGraph) -> int:
+    return len(graph.edges) // 2
+
+
+def is_tree(graph: ShareGraph) -> bool:
+    """Connected with exactly R - 1 undirected edges."""
+    return (
+        graph.is_connected()
+        and _undirected_edge_count(graph) == len(graph) - 1
+    )
+
+
+def is_cycle(graph: ShareGraph) -> bool:
+    """Connected, every replica has exactly two neighbours, R >= 3."""
+    return (
+        len(graph) >= 3
+        and graph.is_connected()
+        and all(graph.degree(r) == 2 for r in graph.replicas)
+    )
+
+
+def is_clique(graph: ShareGraph) -> bool:
+    """Every pair of replicas shares at least one register."""
+    n = len(graph)
+    return all(graph.degree(r) == n - 1 for r in graph.replicas)
+
+
+def tree_lower_bound_counters(graph: ShareGraph, replica: ReplicaId) -> int:
+    """``2 * N_i`` counters for a tree share graph."""
+    if not is_tree(graph):
+        raise ConfigurationError("share graph is not a tree")
+    return 2 * graph.degree(replica)
+
+
+def tree_lower_bound_bits(
+    graph: ShareGraph, replica: ReplicaId, m: int
+) -> float:
+    """``2 * N_i * log2 m`` bits (m = max updates per replica)."""
+    if m < 2:
+        raise ConfigurationError("need m >= 2 for a meaningful bit bound")
+    return tree_lower_bound_counters(graph, replica) * math.log2(m)
+
+
+def cycle_lower_bound_counters(graph: ShareGraph) -> int:
+    """``2n`` counters for every replica of an n-cycle share graph."""
+    if not is_cycle(graph):
+        raise ConfigurationError("share graph is not a cycle")
+    return 2 * len(graph)
+
+
+def cycle_lower_bound_bits(graph: ShareGraph, m: int) -> float:
+    """``2n * log2 m`` bits per replica."""
+    if m < 2:
+        raise ConfigurationError("need m >= 2 for a meaningful bit bound")
+    return cycle_lower_bound_counters(graph) * math.log2(m)
+
+
+def clique_timestamp_space(m: int, n_replicas: int) -> int:
+    """``m^R``: minimum distinct timestamps under full replication.
+
+    Met by length-R vector clocks (Section 4), whose entries range over
+    the per-replica update counts.
+    """
+    if m < 1 or n_replicas < 1:
+        raise ConfigurationError("need m >= 1 and n_replicas >= 1")
+    return m**n_replicas
+
+
+def algorithm_counters(graph: ShareGraph, replica: ReplicaId) -> int:
+    """``|E_i|``: the counter count the paper's algorithm actually uses."""
+    return len(timestamp_graph(graph, replica).edges)

@@ -1,0 +1,13 @@
+"""Causal group multicast with overlapping groups (Section 2.2).
+
+The paper observes a correspondence: replicas sharing register ``x`` form
+multicast group ``G_x``; an update to ``x`` is a multicast to ``G_x``; and
+replica-centric causal consistency is exactly causal delivery with
+overlapping groups.  :class:`CausalGroupMulticast` realizes that
+correspondence on top of the DSM core, so the paper's necessity and
+sufficiency results apply verbatim to the multicast setting.
+"""
+
+from repro.multicast.groups import CausalGroupMulticast, Delivery
+
+__all__ = ["CausalGroupMulticast", "Delivery"]

@@ -1,0 +1,36 @@
+"""Asynchronous message-passing substrate.
+
+Models the channel assumptions of Section 2: reliable point-to-point
+channels with unbounded, *non-FIFO* delays.  Non-FIFO reordering comes from
+the delay model (a later message may draw a smaller delay), never from
+nondeterministic container iteration, so runs replay exactly from a seed.
+"""
+
+from repro.network.delays import (
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    LooseSynchronyDelay,
+    PerEdgeDelay,
+    UniformDelay,
+)
+from repro.network.partitions import (
+    Partition,
+    PartitionSchedule,
+    split_channels,
+)
+from repro.network.transport import Network, NetworkStats
+
+__all__ = [
+    "DelayModel",
+    "ExponentialDelay",
+    "FixedDelay",
+    "LooseSynchronyDelay",
+    "PerEdgeDelay",
+    "UniformDelay",
+    "Partition",
+    "PartitionSchedule",
+    "split_channels",
+    "Network",
+    "NetworkStats",
+]

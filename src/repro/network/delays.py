@@ -1,0 +1,139 @@
+"""Message delay models.
+
+A delay model maps ``(src, dst)`` plus a random generator to a latency.
+Because channels are non-FIFO in the paper's system model, two messages on
+the same channel may be delivered out of order whenever the model can
+return a smaller delay for a later send -- :class:`UniformDelay` and
+:class:`ExponentialDelay` both do.
+
+:class:`LooseSynchronyDelay` implements the *loosely synchronous* guarantee
+of Appendix D (message propagation through a path of length >= l is slower
+than one hop), which underpins the bounded-loop optimization experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Protocol, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ReplicaId
+
+
+class DelayModel(Protocol):
+    """Strategy interface: sample the latency of one message."""
+
+    def sample(
+        self, src: ReplicaId, dst: ReplicaId, rng: random.Random
+    ) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class FixedDelay:
+    """Every message takes exactly ``delay`` time units (FIFO in effect)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ConfigurationError("delay must be non-negative")
+        self.delay = delay
+
+    def sample(self, src: ReplicaId, dst: ReplicaId, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedDelay({self.delay})"
+
+
+class UniformDelay:
+    """Latency drawn uniformly from ``[low, high]`` -- non-FIFO channels."""
+
+    def __init__(self, low: float = 0.5, high: float = 2.0) -> None:
+        if not 0 <= low <= high:
+            raise ConfigurationError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: ReplicaId, dst: ReplicaId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformDelay({self.low}, {self.high})"
+
+
+class ExponentialDelay:
+    """Heavy-tailed latency: ``base + Exp(mean)``. Strongly non-FIFO."""
+
+    def __init__(self, mean: float = 1.0, base: float = 0.1) -> None:
+        if mean <= 0 or base < 0:
+            raise ConfigurationError("need mean > 0 and base >= 0")
+        self.mean = mean
+        self.base = base
+
+    def sample(self, src: ReplicaId, dst: ReplicaId, rng: random.Random) -> float:
+        return self.base + rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(mean={self.mean}, base={self.base})"
+
+
+class PerEdgeDelay:
+    """Different delay model per directed channel (e.g. WAN topologies).
+
+    ``default`` is used for channels without an explicit entry.
+    """
+
+    def __init__(
+        self,
+        per_edge: Dict[Tuple[ReplicaId, ReplicaId], DelayModel],
+        default: DelayModel,
+    ) -> None:
+        self.per_edge = dict(per_edge)
+        self.default = default
+
+    def sample(self, src: ReplicaId, dst: ReplicaId, rng: random.Random) -> float:
+        model = self.per_edge.get((src, dst), self.default)
+        return model.sample(src, dst, rng)
+
+    def __repr__(self) -> str:
+        return f"PerEdgeDelay({len(self.per_edge)} overrides, default={self.default})"
+
+
+class LooseSynchronyDelay:
+    """Loose synchrony (Appendix D): one hop beats any ``path_length``-hop path.
+
+    Single-hop latency is drawn from ``[low, high]`` with
+    ``path_length * low > high``, so any dependency chain that must traverse
+    ``path_length`` or more channels necessarily arrives after a directly
+    sent message.  Setting ``violate=True`` intentionally breaks the
+    guarantee (a message may stall up to ``stall`` time units), which the
+    bounded-loop experiments use to demonstrate causality violations.
+    """
+
+    def __init__(
+        self,
+        path_length: int = 3,
+        low: float = 1.0,
+        violate: bool = False,
+        stall: float = 100.0,
+        violation_probability: float = 0.05,
+    ) -> None:
+        if path_length < 2:
+            raise ConfigurationError("path_length must be >= 2")
+        self.path_length = path_length
+        self.low = low
+        # Strictly below path_length * low so an l-hop chain cannot lose.
+        self.high = low * path_length * 0.95
+        self.violate = violate
+        self.stall = stall
+        self.violation_probability = violation_probability
+
+    def sample(self, src: ReplicaId, dst: ReplicaId, rng: random.Random) -> float:
+        if self.violate and rng.random() < self.violation_probability:
+            return self.stall
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return (
+            f"LooseSynchronyDelay(l={self.path_length}, low={self.low}, "
+            f"violate={self.violate})"
+        )

@@ -1,0 +1,97 @@
+"""Network partition injection.
+
+Channels in the paper's model are reliable but arbitrarily slow, so a
+*partition* is just a period during which messages on some channels are
+held and released at heal time.  :class:`PartitionSchedule` wraps a base
+delay model: a message sent on a cut channel is delayed until the
+partition heals (plus a fresh base delay); everything else is untouched.
+
+This is fault injection, not message loss -- liveness must still hold
+after the last heal, which the partition tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.network.delays import DelayModel, UniformDelay
+from repro.sim.kernel import Simulator
+from repro.types import Edge, ReplicaId
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One partition episode: ``channels`` are cut during [start, end)."""
+
+    start: float
+    end: float
+    channels: FrozenSet[Edge]
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ConfigurationError("partition needs start < end")
+
+    def cuts(self, src: ReplicaId, dst: ReplicaId, now: float) -> bool:
+        return self.start <= now < self.end and (src, dst) in self.channels
+
+
+def split_channels(
+    side_a: AbstractSet[ReplicaId], side_b: AbstractSet[ReplicaId]
+) -> FrozenSet[Edge]:
+    """All directed channels crossing a two-sided split."""
+    if set(side_a) & set(side_b):
+        raise ConfigurationError("partition sides must be disjoint")
+    channels = set()
+    for a in side_a:
+        for b in side_b:
+            channels.add((a, b))
+            channels.add((b, a))
+    return frozenset(channels)
+
+
+class PartitionSchedule:
+    """A delay model that injects scheduled partitions.
+
+    Needs the simulator clock to decide whether a send falls inside a
+    partition; :class:`~repro.network.transport.Network` calls
+    :meth:`bind` automatically when the model exposes it.
+    """
+
+    def __init__(
+        self,
+        partitions: List[Partition],
+        base: Optional[DelayModel] = None,
+    ) -> None:
+        self.partitions = sorted(partitions, key=lambda p: p.start)
+        self.base = base if base is not None else UniformDelay(0.5, 2.0)
+        self._simulator: Optional[Simulator] = None
+        self.held_messages = 0
+
+    def bind(self, simulator: Simulator) -> None:
+        self._simulator = simulator
+
+    def sample(
+        self, src: ReplicaId, dst: ReplicaId, rng: random.Random
+    ) -> float:
+        if self._simulator is None:
+            raise ConfigurationError(
+                "PartitionSchedule must be bound to a simulator (pass it "
+                "as the delay model of a Network)"
+            )
+        now = self._simulator.now
+        base_delay = self.base.sample(src, dst, rng)
+        for partition in self.partitions:
+            if partition.cuts(src, dst, now):
+                self.held_messages += 1
+                # Held until heal, then a fresh propagation delay.
+                return (partition.end - now) + base_delay
+        return base_delay
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionSchedule({len(self.partitions)} episodes, "
+            f"base={self.base})"
+        )

@@ -1,0 +1,125 @@
+"""Exact rational linear algebra for timestamp compression.
+
+The compression of Appendix D relies on linear dependencies between edge
+counters; floating point would make "is this row a combination of those"
+flaky, so everything here runs over :class:`fractions.Fraction`.
+Matrices are lists of row lists; sizes are tiny (rows = outgoing edges of
+one neighbour), so asymptotics do not matter.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+Row = List[Fraction]
+Matrix = List[Row]
+
+
+def to_fractions(matrix: Sequence[Sequence[int]]) -> Matrix:
+    return [[Fraction(v) for v in row] for row in matrix]
+
+
+def rank(matrix: Sequence[Sequence[int]]) -> int:
+    """Rank of an integer matrix (exact)."""
+    work = to_fractions(matrix)
+    rows = len(work)
+    cols = len(work[0]) if rows else 0
+    r = 0
+    for c in range(cols):
+        pivot = next((i for i in range(r, rows) if work[i][c] != 0), None)
+        if pivot is None:
+            continue
+        work[r], work[pivot] = work[pivot], work[r]
+        inv = work[r][c]
+        work[r] = [v / inv for v in work[r]]
+        for i in range(rows):
+            if i != r and work[i][c] != 0:
+                factor = work[i][c]
+                work[i] = [a - factor * b for a, b in zip(work[i], work[r])]
+        r += 1
+        if r == rows:
+            break
+    return r
+
+
+def row_basis_indices(matrix: Sequence[Sequence[int]]) -> List[int]:
+    """Indices of a maximal linearly independent subset of rows (greedy).
+
+    Greedy in row order, so the result is deterministic: the first row
+    that increases the rank is kept.
+    """
+    basis: List[int] = []
+    kept: List[Sequence[int]] = []
+    current = 0
+    for idx, row in enumerate(matrix):
+        candidate = kept + [row]
+        if rank(candidate) > current:
+            basis.append(idx)
+            kept = candidate
+            current += 1
+    return basis
+
+
+def express_row(
+    basis_rows: Sequence[Sequence[int]], target: Sequence[int]
+) -> Optional[List[Fraction]]:
+    """Coefficients ``a`` with ``sum a_i * basis_i == target``, or None.
+
+    Solved by Gaussian elimination on the transposed system (columns are
+    equations, basis rows are unknowns).
+    """
+    n_basis = len(basis_rows)
+    n_cols = len(target)
+    if n_basis == 0:
+        return [] if all(v == 0 for v in target) else None
+    # Equations: for each column c: sum_i a_i * basis_rows[i][c] = target[c]
+    aug: Matrix = []
+    for c in range(n_cols):
+        aug.append(
+            [Fraction(basis_rows[i][c]) for i in range(n_basis)]
+            + [Fraction(target[c])]
+        )
+    rows = len(aug)
+    r = 0
+    pivots: List[Tuple[int, int]] = []
+    for c in range(n_basis):
+        pivot = next((i for i in range(r, rows) if aug[i][c] != 0), None)
+        if pivot is None:
+            continue
+        aug[r], aug[pivot] = aug[pivot], aug[r]
+        inv = aug[r][c]
+        aug[r] = [v / inv for v in aug[r]]
+        for i in range(rows):
+            if i != r and aug[i][c] != 0:
+                factor = aug[i][c]
+                aug[i] = [a - factor * b for a, b in zip(aug[i], aug[r])]
+        pivots.append((r, c))
+        r += 1
+        if r == rows:
+            break
+    # Inconsistent when a zero row has non-zero rhs.
+    for i in range(rows):
+        if all(aug[i][c] == 0 for c in range(n_basis)) and aug[i][n_basis] != 0:
+            return None
+    coeffs = [Fraction(0)] * n_basis
+    for row_idx, col in pivots:
+        coeffs[col] = aug[row_idx][n_basis]
+    return coeffs
+
+
+def in_column_space(
+    matrix: Sequence[Sequence[int]], target: Sequence[int]
+) -> bool:
+    """True when ``target`` is a linear combination of the matrix *columns*.
+
+    Used for the Appendix D consistency check: edge counts ``tau`` are
+    consistent iff ``tau = M c`` for some class-count vector ``c``.
+    """
+    if not matrix:
+        return all(v == 0 for v in target)
+    columns = [
+        [matrix[r][c] for r in range(len(matrix))]
+        for c in range(len(matrix[0]))
+    ]
+    return express_row(columns, target) is not None

@@ -1,0 +1,225 @@
+"""Virtual registers and restricted communication ("breaking the ring").
+
+Appendix D / Figure 13: in a ring of R replicas every timestamp needs 2R
+counters (the cycle lower bound).  If direct communication between two
+ring neighbours ``a`` and ``b`` is disallowed, the share graph becomes a
+path (a tree!), and timestamps shrink to ``2 * N_i`` counters -- but
+updates to the register ``a`` and ``b`` used to share must now be
+*piggybacked* hop by hop on updates to virtual registers along the ring.
+
+Mechanically:
+
+* the logical register ``x`` shared by ``a`` and ``b`` is split into two
+  private physical copies (``x@a``, ``x@b``) so the share-graph edge
+  disappears;
+* a chain of virtual registers (one per hop and direction) is added along
+  the chosen path;
+* a write of ``x`` at ``a`` writes ``x@a`` locally, then issues an update
+  on the first virtual register with the value as payload; each path
+  replica's ``on_apply`` hook re-issues the payload on the next hop; the
+  far endpoint materializes the payload into its private copy.
+
+Causal consistency of the virtual-register updates themselves is still
+guaranteed by the (now smaller) edge-indexed timestamps, and because the
+payload rides a causal chain, the far copy of ``x`` is updated in causal
+order too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.replica import Replica
+from repro.core.share_graph import ShareGraph
+from repro.core.system import DSMSystem
+from repro.errors import ConfigurationError
+from repro.network.delays import DelayModel
+from repro.types import RegisterName, ReplicaId, Update
+
+Placements = Dict[ReplicaId, Set[RegisterName]]
+
+# Route actions executed by the on_apply hook.
+_FORWARD = "forward"
+_DELIVER = "deliver"
+
+
+@dataclass(frozen=True)
+class VirtualRoutePlan:
+    """A share-graph transformation that re-routes one logical register.
+
+    Attributes
+    ----------
+    placements:
+        The transformed placements (physical registers + virtuals).
+    logical:
+        The re-routed logical register.
+    endpoints:
+        ``(a, b)`` -- the replicas whose direct edge was broken.
+    aliases:
+        ``(replica, logical) -> physical`` register-name mapping.
+    first_hop:
+        ``(writer, logical) -> first virtual register`` for each direction.
+    routes:
+        ``(replica, virtual register) -> (action, argument)`` where action
+        is ``"forward"`` (argument: next virtual register) or ``"deliver"``
+        (argument: physical register to materialize the payload into).
+    path_hops:
+        Number of hops the piggybacked value travels.
+    """
+
+    placements: Mapping[ReplicaId, frozenset]
+    logical: RegisterName
+    endpoints: Tuple[ReplicaId, ReplicaId]
+    aliases: Mapping[Tuple[ReplicaId, RegisterName], RegisterName]
+    first_hop: Mapping[Tuple[ReplicaId, RegisterName], RegisterName]
+    routes: Mapping[Tuple[ReplicaId, RegisterName], Tuple[str, RegisterName]]
+    path_hops: int
+
+    def share_graph(self) -> ShareGraph:
+        return ShareGraph({r: set(regs) for r, regs in self.placements.items()})
+
+
+def break_ring_edge(
+    graph: ShareGraph,
+    a: ReplicaId,
+    b: ReplicaId,
+    path: Sequence[ReplicaId],
+) -> VirtualRoutePlan:
+    """Break the share-graph edge between ``a`` and ``b`` (Figure 13).
+
+    ``path`` must run from ``a`` to ``b`` through pairwise-adjacent
+    replicas (excluding the direct a-b edge).  The registers shared by
+    ``a`` and ``b`` must be shared by *only* those two replicas (true in
+    the ring topology); exactly one such register is supported per plan.
+    """
+    if not graph.is_edge(a, b):
+        raise ConfigurationError(f"{a!r} and {b!r} do not share a register")
+    shared = graph.shared(a, b)
+    if len(shared) != 1:
+        raise ConfigurationError(
+            f"expected exactly one register shared by {a!r},{b!r}; got "
+            f"{sorted(map(repr, shared))}"
+        )
+    (logical,) = shared
+    if graph.replicas_storing(logical) != frozenset({a, b}):
+        raise ConfigurationError(
+            f"register {logical!r} is stored beyond {a!r},{b!r}; "
+            "re-routing it would change third-party semantics"
+        )
+    if len(path) < 3 or path[0] != a or path[-1] != b:
+        raise ConfigurationError("path must run from a to b with >= 1 hop")
+    if len(set(path)) != len(path):
+        raise ConfigurationError("path must be simple")
+    for u, v in zip(path, path[1:]):
+        if (u, v) == (a, b) or (u, v) == (b, a):
+            raise ConfigurationError("path may not use the broken edge")
+        if not graph.is_edge(u, v):
+            raise ConfigurationError(f"path hop {u!r}-{v!r} is not an edge")
+
+    placements: Placements = {
+        r: set(regs) for r, regs in graph.placement().items()
+    }
+    phys_a = f"{logical}@{a}"
+    phys_b = f"{logical}@{b}"
+    placements[a].discard(logical)
+    placements[a].add(phys_a)
+    placements[b].discard(logical)
+    placements[b].add(phys_b)
+
+    aliases: Dict[Tuple[ReplicaId, RegisterName], RegisterName] = {
+        (a, logical): phys_a,
+        (b, logical): phys_b,
+    }
+    first_hop: Dict[Tuple[ReplicaId, RegisterName], RegisterName] = {}
+    routes: Dict[Tuple[ReplicaId, RegisterName], Tuple[str, RegisterName]] = {}
+
+    def add_direction(route_path: Sequence[ReplicaId], deliver_into: RegisterName) -> None:
+        hops: List[RegisterName] = []
+        for u, v in zip(route_path, route_path[1:]):
+            name = f"virt:{logical}:{u}->{v}"
+            hops.append(name)
+            placements[u].add(name)
+            placements[v].add(name)
+        first_hop[(route_path[0], logical)] = hops[0]
+        for idx, (u, v) in enumerate(zip(route_path, route_path[1:])):
+            if idx + 1 < len(hops):
+                routes[(v, hops[idx])] = (_FORWARD, hops[idx + 1])
+            else:
+                routes[(v, hops[idx])] = (_DELIVER, deliver_into)
+
+    add_direction(list(path), phys_b)
+    add_direction(list(reversed(path)), phys_a)
+
+    return VirtualRoutePlan(
+        placements={r: frozenset(regs) for r, regs in placements.items()},
+        logical=logical,
+        endpoints=(a, b),
+        aliases=aliases,
+        first_hop=first_hop,
+        routes=routes,
+        path_hops=len(path) - 1,
+    )
+
+
+class VirtualRouteSystem:
+    """A :class:`DSMSystem` executing a :class:`VirtualRoutePlan`.
+
+    Exposes logical reads/writes that hide the physical renames and the
+    piggyback forwarding.  All non-re-routed registers behave exactly as
+    in the plain system.
+    """
+
+    def __init__(
+        self,
+        plan: VirtualRoutePlan,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        **system_kwargs: Any,
+    ) -> None:
+        self.plan = plan
+        self.system = DSMSystem(
+            plan.share_graph(),
+            seed=seed,
+            delay_model=delay_model,
+            on_apply=self._on_apply,
+            **system_kwargs,
+        )
+        self.delivery_times: Dict[RegisterName, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def write(self, replica: ReplicaId, register: RegisterName, value: Any):
+        """Logical write: local physical write plus piggyback if re-routed."""
+        physical = self.plan.aliases.get((replica, register), register)
+        uid = self.system.replica(replica).write(physical, value)
+        hop = self.plan.first_hop.get((replica, register))
+        if hop is not None:
+            self.system.replica(replica).write(
+                hop, value, payload=(register, value, self.system.simulator.now)
+            )
+        return uid
+
+    def read(self, replica: ReplicaId, register: RegisterName) -> Any:
+        physical = self.plan.aliases.get((replica, register), register)
+        return self.system.replica(replica).read(physical)
+
+    def run(self, **kwargs: Any) -> None:
+        self.system.run(**kwargs)
+
+    def check(self, **kwargs: Any):
+        return self.system.check(**kwargs)
+
+    # ------------------------------------------------------------------
+    def _on_apply(self, replica: Replica, src: ReplicaId, update: Update) -> None:
+        route = self.plan.routes.get((replica.replica_id, update.register))
+        if route is None or update.payload is None:
+            return
+        action, argument = route
+        if action == _FORWARD:
+            replica.write(argument, update.value, payload=update.payload)
+        else:  # deliver: materialize the piggybacked value locally
+            register, value, sent_at = update.payload
+            replica.store[argument] = value
+            self.delivery_times.setdefault(register, []).append(
+                self.system.simulator.now - sent_at
+            )

@@ -1,0 +1,13 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper assumes an asynchronous system with reliable, *non-FIFO*
+point-to-point channels.  This kernel provides the event loop on which the
+network substrate (:mod:`repro.network`) builds that model: events are
+executed in ``(time, sequence)`` order, randomness comes exclusively from a
+seeded :class:`random.Random`, and iteration order never leaks into the
+schedule -- so every run is reproducible from its seed.
+"""
+
+from repro.sim.kernel import Event, EventHandle, Simulator
+
+__all__ = ["Event", "EventHandle", "Simulator"]

@@ -1,0 +1,20 @@
+"""Developer tools: execution traces and graph exports.
+
+* :mod:`repro.tools.trace` -- human-readable timelines of a
+  :class:`~repro.core.causality.History` and causal-chain explanations.
+* :mod:`repro.tools.dot` -- Graphviz DOT export for share graphs and
+  timestamp graphs (regenerating the paper's figures as diagrams).
+"""
+
+from repro.tools.dot import share_graph_dot, timestamp_graph_dot
+from repro.tools.spacetime import causal_arrows, spacetime_diagram
+from repro.tools.trace import explain_dependency, format_timeline
+
+__all__ = [
+    "share_graph_dot",
+    "timestamp_graph_dot",
+    "causal_arrows",
+    "spacetime_diagram",
+    "explain_dependency",
+    "format_timeline",
+]

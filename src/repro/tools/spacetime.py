@@ -1,0 +1,97 @@
+"""ASCII space-time diagrams of executions.
+
+Each replica gets a lane; each history event a row.  ``W`` marks an issue
+(write), ``A`` an apply, ``C`` a client access -- the classic distributed-
+systems whiteboard diagram, generated from a real run.
+
+Example output for two replicas::
+
+    time         1           2
+    --------  ----------  ----------
+       0.000  W u(1,1)    .
+       1.417  .           A u(1,1)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.causality import History
+from repro.types import ReplicaId
+
+
+def spacetime_diagram(
+    history: History,
+    replicas: Optional[Sequence[ReplicaId]] = None,
+    max_events: Optional[int] = None,
+) -> str:
+    """Render the history as a lane-per-replica diagram."""
+    if replicas is None:
+        seen = []
+        for event in history.events:
+            if event.replica not in seen:
+                seen.append(event.replica)
+        replicas = sorted(seen, key=lambda v: (str(type(v)), repr(v)))
+    lanes = list(replicas)
+    events = history.events if max_events is None else history.events[:max_events]
+
+    cells: List[List[str]] = []
+    times: List[float] = []
+    for event in events:
+        if event.replica not in lanes:
+            continue
+        row = ["." for _ in lanes]
+        if event.kind == "issue":
+            marker = f"W {event.uid}"
+        elif event.kind == "apply":
+            marker = f"A {event.uid}"
+        else:
+            marker = f"C {event.client}"
+        row[lanes.index(event.replica)] = marker
+        cells.append(row)
+        times.append(event.time)
+
+    width = max(
+        [10] + [len(cell) for row in cells for cell in row]
+        + [len(str(lane)) for lane in lanes]
+    )
+    header = "time".rjust(8) + "  " + "  ".join(
+        str(lane).ljust(width) for lane in lanes
+    )
+    rule = "-" * 8 + "  " + "  ".join("-" * width for _ in lanes)
+    lines = [header, rule]
+    for time, row in zip(times, cells):
+        lines.append(
+            f"{time:8.3f}  " + "  ".join(cell.ljust(width) for cell in row)
+        )
+    return "\n".join(lines)
+
+
+def causal_arrows(
+    history: History, max_updates: Optional[int] = None
+) -> str:
+    """A compact listing of the direct happened-before structure.
+
+    For each update: its issuer and the updates in its causal past that
+    are not implied transitively (the covering relation) -- readable even
+    for runs with dozens of updates.
+    """
+    lines: List[str] = []
+    updates = history.all_updates()
+    if max_updates is not None:
+        updates = updates[:max_updates]
+    for uid in updates:
+        past = history.causal_past(uid)
+        # Covering elements: not in the past of another past element.
+        covering = [
+            u
+            for u in past
+            if not any(
+                u != v and history.happened_before(u, v) for v in past
+            )
+        ]
+        covering.sort(key=lambda u: (str(u.issuer), u.seq))
+        record = history.updates[uid]
+        deps = ", ".join(str(u) for u in covering) if covering else "(root)"
+        lines.append(f"{uid} on {record.register!r}  <-  {deps}")
+    return "\n".join(lines)

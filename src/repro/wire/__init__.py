@@ -1,0 +1,27 @@
+"""Wire formats: byte-accurate metadata accounting.
+
+Section 4 states its lower bounds in *bits*; counting counters alone
+hides the fact that counter magnitudes grow with execution length.  This
+package provides a compact varint encoding for timestamps and update
+messages so experiments can report real bytes on the wire, including the
+effect of Appendix D compression.
+"""
+
+from repro.wire.codec import (
+    decode_timestamp,
+    decode_update,
+    encode_timestamp,
+    encode_update,
+    timestamp_wire_bytes,
+)
+from repro.wire.varint import decode_uvarint, encode_uvarint
+
+__all__ = [
+    "decode_timestamp",
+    "decode_update",
+    "encode_timestamp",
+    "encode_update",
+    "timestamp_wire_bytes",
+    "decode_uvarint",
+    "encode_uvarint",
+]

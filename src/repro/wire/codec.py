@@ -1,0 +1,152 @@
+"""Timestamp and update message encoding.
+
+The index set of a replica's timestamp (``E_i``) is static configuration
+known to every peer, so the wire form of a timestamp is just the counters
+in a canonical edge order -- one varint each -- prefixed by the count.
+Update messages add the issuer sequence number, the register, and the
+value (tagged primitives).
+
+This is deliberately schema-light: the experiments only need faithful
+*sizes* plus lossless round trips, not cross-version evolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.core.timestamp import Timestamp
+from repro.errors import ProtocolError
+from repro.types import Edge, Update, UpdateId
+from repro.wire.varint import (
+    decode_uvarint,
+    encode_uvarint,
+    uvarint_size,
+)
+
+
+def canonical_edge_order(edges) -> Tuple[Edge, ...]:
+    """The deterministic order both endpoints agree on."""
+    return tuple(sorted(edges, key=lambda e: (str(e[0]), str(e[1]))))
+
+
+def encode_timestamp(ts: Timestamp, order: Sequence[Edge] = None) -> bytes:
+    """Encode counters in canonical (or supplied) edge order."""
+    if order is None:
+        order = canonical_edge_order(ts.index)
+    out = bytearray(encode_uvarint(len(order)))
+    for e in order:
+        value = ts.get(e)
+        if value is None:
+            raise ProtocolError(f"timestamp missing edge {e!r}")
+        out += encode_uvarint(value)
+    return bytes(out)
+
+
+def decode_timestamp(
+    data: bytes, order: Sequence[Edge], offset: int = 0
+) -> Tuple[Timestamp, int]:
+    """Decode counters against the shared edge order."""
+    count, offset = decode_uvarint(data, offset)
+    if count != len(order):
+        raise ProtocolError(
+            f"timestamp length {count} does not match index of {len(order)}"
+        )
+    counters: Dict[Edge, int] = {}
+    for e in order:
+        value, offset = decode_uvarint(data, offset)
+        counters[e] = value
+    return Timestamp(counters), offset
+
+
+def timestamp_wire_bytes(ts: Timestamp) -> int:
+    """Encoded size without materializing bytes (hot path of accounting)."""
+    size = uvarint_size(len(ts))
+    for _, value in ts.items():
+        size += uvarint_size(value)
+    return size
+
+
+# ----------------------------------------------------------------------
+# Values: tagged primitives
+# ----------------------------------------------------------------------
+_TAG_NONE, _TAG_INT, _TAG_STR, _TAG_BYTES = 0, 1, 2, 3
+
+
+def _encode_value(value: Any) -> bytes:
+    if value is None:
+        return bytes([_TAG_NONE])
+    if isinstance(value, bool):  # bools are ints in Python; keep simple
+        return bytes([_TAG_INT]) + encode_uvarint(int(value))
+    if isinstance(value, int) and value >= 0:
+        return bytes([_TAG_INT]) + encode_uvarint(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TAG_STR]) + encode_uvarint(len(raw)) + raw
+    if isinstance(value, bytes):
+        return bytes([_TAG_BYTES]) + encode_uvarint(len(value)) + value
+    raise ProtocolError(
+        f"wire codec supports None/int>=0/str/bytes values, got {type(value)}"
+    )
+
+
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise ProtocolError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_INT:
+        return decode_uvarint(data, offset)
+    if tag in (_TAG_STR, _TAG_BYTES):
+        length, offset = decode_uvarint(data, offset)
+        raw = data[offset : offset + length]
+        if len(raw) != length:
+            raise ProtocolError("truncated string/bytes value")
+        offset += length
+        return (raw.decode("utf-8") if tag == _TAG_STR else raw), offset
+    raise ProtocolError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Update messages
+# ----------------------------------------------------------------------
+def encode_update(update: Update, order: Sequence[Edge] = None) -> bytes:
+    """Encode ``update(i, tau, x, v)`` for a channel whose endpoints know
+    the issuer and the register-name table out of band.
+
+    Layout: seq varint | register (str value) | flags byte |
+    value | timestamp.
+    """
+    if order is None:
+        order = canonical_edge_order(update.timestamp.index)
+    out = bytearray()
+    out += encode_uvarint(update.uid.seq)
+    out += _encode_value(str(update.register))
+    out.append(1 if update.metadata_only else 0)
+    out += _encode_value(update.value)
+    out += encode_timestamp(update.timestamp, order)
+    return bytes(out)
+
+
+def decode_update(
+    data: bytes, issuer, order: Sequence[Edge]
+) -> Update:
+    """Decode an update from a channel with a known issuer."""
+    seq, offset = decode_uvarint(data, 0)
+    register, offset = _decode_value(data, offset)
+    if offset >= len(data):
+        raise ProtocolError("truncated update flags")
+    metadata_only = bool(data[offset])
+    offset += 1
+    value, offset = _decode_value(data, offset)
+    ts, offset = decode_timestamp(data, order, offset)
+    if offset != len(data):
+        raise ProtocolError("trailing bytes in update")
+    return Update(
+        uid=UpdateId(issuer, seq),
+        register=register,
+        value=value,
+        timestamp=ts,
+        metadata_only=metadata_only,
+    )

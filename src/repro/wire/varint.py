@@ -1,0 +1,56 @@
+"""Unsigned LEB128 varints: the integer building block of the wire format.
+
+Counters are small early in an execution and grow without bound, so a
+variable-length encoding reflects the real metadata cost: a fresh
+timestamp costs one byte per counter, a long-lived one more.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ProtocolError
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128."""
+    if value < 0:
+        raise ProtocolError(f"cannot varint-encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one LEB128 integer; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ProtocolError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise ProtocolError("varint too long")
+
+
+def uvarint_size(value: int) -> int:
+    """Encoded size in bytes, without materializing the encoding."""
+    if value < 0:
+        raise ProtocolError(f"cannot varint-encode negative value {value}")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

@@ -1,0 +1,200 @@
+"""Placement generators: paper examples and parametric families.
+
+Every generator returns a ``{replica: set(registers)}`` mapping suitable
+for :class:`~repro.core.share_graph.ShareGraph`.  Parametric families
+follow a common convention: one *shared* register per share-graph edge
+(named ``"s<i>_<j>"``) plus one *private* register per replica (named
+``"p<i>"``), which keeps every replica's register set non-empty and makes
+the share graph exactly the intended topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import RegisterName, ReplicaId
+
+Placements = Dict[ReplicaId, Set[RegisterName]]
+
+
+def _edge_register(i: int, j: int) -> str:
+    lo, hi = (i, j) if i <= j else (j, i)
+    return f"s{lo}_{hi}"
+
+
+def _from_edges(n: int, edges: Iterable[Tuple[int, int]]) -> Placements:
+    placements: Placements = {i: {f"p{i}"} for i in range(1, n + 1)}
+    for (i, j) in edges:
+        reg = _edge_register(i, j)
+        placements[i].add(reg)
+        placements[j].add(reg)
+    return placements
+
+
+# ----------------------------------------------------------------------
+# Paper examples
+# ----------------------------------------------------------------------
+def fig3_placements() -> Placements:
+    """Figure 3: X1={x}, X2={x,y}, X3={y,z}, X4={z} (a 4-replica line)."""
+    return {1: {"x"}, 2: {"x", "y"}, 3: {"y", "z"}, 4: {"z"}}
+
+
+def fig5_placements() -> Placements:
+    """Figure 5a: X1={a,y,w}, X2={b,x,y}, X3={c,x,z}, X4={d,y,z,w}.
+
+    The running example where ``e_43 ∈ G_1`` but ``e_34 ∉ G_1``.
+    """
+    return {
+        1: {"a", "y", "w"},
+        2: {"b", "x", "y"},
+        3: {"c", "x", "z"},
+        4: {"d", "y", "z", "w"},
+    }
+
+
+def fig6_counterexample_placements() -> Placements:
+    """Figures 6/8a: the counter-example to Helary & Milani's Lemma 11.
+
+    Replicas ``i, a1, a2, k, j, b1, b2`` arranged in a 7-cycle
+    ``j - b1 - b2 - i - a1 - a2 - k - j`` with:
+
+    * ``x`` shared by ``j`` and ``k`` (the chord closing the cycle),
+    * ``y`` shared by ``b1, b2, a1``,
+    * ``z`` shared by ``b2, a1, a2``,
+    * unique labels elsewhere.
+
+    The loop is a minimal x-hoop per Definition 18, yet replica ``i`` need
+    not track updates to ``x`` (edge ``e_jk`` is not in ``G_i``).
+    """
+    return {
+        "j": {"x", "g1"},
+        "b1": {"g1", "y"},
+        "b2": {"y", "z", "g2"},
+        "i": {"g2", "g3"},
+        "a1": {"g3", "y", "z"},
+        "a2": {"z", "g5"},
+        "k": {"g5", "x"},
+    }
+
+
+def fig8b_placements() -> Placements:
+    """Figure 8b: the counter-example to the *modified* minimal hoop.
+
+    Same 7-cycle skeleton, but now ``y`` is shared by ``b1, b2, a1`` only
+    (no ``z`` shortcut), so the only simple loop through ``i, j, k`` fails
+    Definition 20 (label ``y`` is stored by three hoop replicas) while
+    Theorem 8 still requires ``i`` to track ``e_kj``.
+    """
+    return {
+        "j": {"x", "g1"},
+        "b1": {"g1", "y"},
+        "b2": {"y", "g2"},
+        "i": {"g2", "g3"},
+        "a1": {"y", "g3", "g4"},
+        "a2": {"g4", "g5"},
+        "k": {"g5", "x"},
+    }
+
+
+def ring_placements(n: int = 6) -> Placements:
+    """Figure 13: a ring of ``n`` replicas, one unique register per edge."""
+    if n < 3:
+        raise ConfigurationError("ring needs n >= 3")
+    edges = [(i, i % n + 1) for i in range(1, n + 1)]
+    return _from_edges(n, edges)
+
+
+# ----------------------------------------------------------------------
+# Parametric families
+# ----------------------------------------------------------------------
+def line_placements(n: int) -> Placements:
+    """A path of ``n`` replicas (the share-graph tree used for bounds)."""
+    if n < 1:
+        raise ConfigurationError("need n >= 1")
+    return _from_edges(n, [(i, i + 1) for i in range(1, n)])
+
+
+def cycle_placements(n: int) -> Placements:
+    """Alias of :func:`ring_placements` (paper calls it a cycle in Sec. 4)."""
+    return ring_placements(n)
+
+
+def clique_placements(n: int, registers: int = 3) -> Placements:
+    """Full replication: every replica stores the same ``registers`` set."""
+    if n < 1 or registers < 1:
+        raise ConfigurationError("need n >= 1 and registers >= 1")
+    shared = {f"x{m}" for m in range(registers)}
+    return {i: set(shared) for i in range(1, n + 1)}
+
+
+def star_placements(n: int) -> Placements:
+    """Replica 1 at the hub, sharing a distinct register with each leaf."""
+    if n < 2:
+        raise ConfigurationError("star needs n >= 2")
+    return _from_edges(n, [(1, i) for i in range(2, n + 1)])
+
+
+def tree_placements(n: int, branching: int = 2, seed: int = 0) -> Placements:
+    """A random tree: each replica ``i >= 2`` attaches to a random parent.
+
+    ``branching`` caps the number of children per node; one register is
+    shared per tree edge.
+    """
+    if n < 1:
+        raise ConfigurationError("need n >= 1")
+    rng = random.Random(seed)
+    children: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+    for i in range(2, n + 1):
+        candidates = [
+            p for p in range(1, i) if children.get(p, 0) < branching
+        ]
+        parent = rng.choice(candidates)
+        children[parent] = children.get(parent, 0) + 1
+        edges.append((parent, i))
+    return _from_edges(n, edges)
+
+
+def grid_placements(rows: int, cols: int) -> Placements:
+    """A ``rows x cols`` grid; replica ids are 1-based row-major."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("need rows, cols >= 1")
+
+    def rid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((rid(r, c), rid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((rid(r, c), rid(r + 1, c)))
+    return _from_edges(rows * cols, edges)
+
+
+def random_placements(
+    n: int,
+    registers: int,
+    replication_factor: int,
+    seed: int = 0,
+) -> Placements:
+    """``registers`` registers, each stored at ``replication_factor`` random
+    replicas.  Models the storage-efficiency setting of the introduction:
+    partial replication with a tunable replication factor.
+
+    Every replica additionally holds a private register so no replica is
+    empty.
+    """
+    if not 1 <= replication_factor <= n:
+        raise ConfigurationError("need 1 <= replication_factor <= n")
+    rng = random.Random(seed)
+    placements: Placements = {i: {f"p{i}"} for i in range(1, n + 1)}
+    all_replicas = list(range(1, n + 1))
+    for m in range(registers):
+        holders = rng.sample(all_replicas, replication_factor)
+        for h in holders:
+            placements[h].add(f"x{m}")
+    return placements

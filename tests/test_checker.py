@@ -1,0 +1,145 @@
+"""Unit tests for the Definition 2 checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import History, ShareGraph, UpdateId, check_history
+from repro.errors import ConsistencyViolation
+
+
+def u(issuer, seq):
+    return UpdateId(issuer, seq)
+
+
+@pytest.fixture
+def chain_graph():
+    return ShareGraph({1: {"x"}, 2: {"x", "y"}, 3: {"y"}})
+
+
+def test_clean_history(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_apply(2, u(1, 1), 1.0)
+    h.record_issue(2, u(2, 1), "y", 2.0)
+    h.record_apply(3, u(2, 1), 3.0)
+    result = check_history(h, chain_graph)
+    assert result.ok
+    assert result.updates_checked == 2
+    assert "OK" in str(result)
+
+
+def test_safety_violation_detected(chain_graph):
+    """Replica 2 applies u2 (which depends on u1 on register x in X_2)
+    before applying u1: a safety breach."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)  # u1 on x
+    h.record_apply(2, u(1, 1), 1.0)
+    h.record_issue(1, u(1, 2), "x", 2.0)  # u2: u1 -> u2
+    # A third replica... rather: replica 2 must not apply a *later* update
+    # first.  Build the breach with a second issuer:
+    h2 = History()
+    h2.record_issue(1, u(1, 1), "x", 0.0)
+    h2.record_issue(1, u(1, 2), "x", 1.0)  # u1 -> u2, both on x
+    h2.record_apply(2, u(1, 2), 2.0)  # applied u2 before u1!
+    h2.record_apply(2, u(1, 1), 3.0)
+    result = check_history(h2, chain_graph)
+    assert not result.ok
+    assert len(result.safety) == 1
+    v = result.safety[0]
+    assert v.replica == 2
+    assert v.applied == u(1, 2)
+    assert v.missing == u(1, 1)
+    assert "SAFETY" in str(v)
+
+
+def test_transitive_safety_violation(chain_graph):
+    """u1 on x -> u2 on y; replica 2 stores both; applying u2 without u1
+    violates safety even though u2's issuer is different."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_apply(2, u(1, 1), 1.0)
+    h.record_issue(2, u(2, 1), "y", 2.0)
+    h.record_apply(3, u(2, 1), 3.0)
+    # New replica... replica 3 stores y only; u1 is on x which 3 does not
+    # store, so no violation there.
+    assert check_history(h, chain_graph).ok
+
+
+def test_dependency_on_unstored_register_is_ignored(chain_graph):
+    """Safety only quantifies over updates on registers of X_i."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_apply(2, u(1, 1), 1.0)
+    h.record_issue(2, u(2, 1), "y", 2.0)
+    # Replica 3 applies u(2,1) without ever seeing u(1,1): fine, since
+    # x is not in X_3.
+    h.record_apply(3, u(2, 1), 3.0)
+    assert check_history(h, chain_graph).ok
+
+
+def test_liveness_violation(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    # Never applied at replica 2, which stores x.
+    result = check_history(h, chain_graph)
+    assert not result.ok
+    assert len(result.liveness) == 1
+    assert result.liveness[0].replica == 2
+    assert "LIVENESS" in str(result.liveness[0])
+
+
+def test_liveness_can_be_skipped_mid_run(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    assert check_history(h, chain_graph, require_liveness=False).ok
+
+
+def test_session_violation(chain_graph):
+    """Client saw u1 at replica 1 then reached replica 2 before u1."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_client_access("c", 1, 1.0)
+    h.record_client_access("c", 2, 2.0)  # replica 2 has not applied u1
+    h.record_apply(2, u(1, 1), 3.0)
+    result = check_history(h, chain_graph)
+    assert not result.ok
+    assert len(result.session) == 1
+    assert result.session[0].client == "c"
+    assert "SESSION" in str(result.session[0])
+
+
+def test_session_ok_when_replica_caught_up(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_client_access("c", 1, 1.0)
+    h.record_apply(2, u(1, 1), 2.0)
+    h.record_client_access("c", 2, 3.0)
+    assert check_history(h, chain_graph).ok
+
+
+def test_raise_on_violation(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    result = check_history(h, chain_graph)
+    with pytest.raises(ConsistencyViolation):
+        result.raise_on_violation()
+    # And a clean result does not raise.
+    h.record_apply(2, u(1, 1), 1.0)
+    check_history(h, chain_graph).raise_on_violation()
+
+
+def test_max_violations_caps_report(chain_graph):
+    h = History()
+    for n in range(1, 20):
+        h.record_issue(1, u(1, n), "x", float(n))
+    result = check_history(h, chain_graph, max_violations=5)
+    assert len(result.liveness) == 5
+
+
+def test_violation_rendering(chain_graph):
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    result = check_history(h, chain_graph)
+    text = str(result)
+    assert "liveness" in text

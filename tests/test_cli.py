@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_graph_command(capsys):
+    assert main(["graph", "--topology", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "G_1" in out
+    assert "e(4,3)" in out
+
+
+def test_run_command_ok(capsys):
+    assert main(["run", "--topology", "ring", "--n", "5", "--writes", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "checker" in out and "OK" in out
+
+
+def test_run_command_line_topology(capsys):
+    assert main(["run", "--topology", "line", "--n", "4", "--writes", "30"]) == 0
+
+
+def test_experiments_selected(capsys):
+    assert main(["experiments", "--only", "E1,E4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "Figure 8b" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "--only", "E99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_race_command(capsys):
+    assert main(["race", "--topology", "fig5", "--replica", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "safety violations" in out
+    assert "exact -> OK" in out
+
+
+def test_race_no_loops(capsys):
+    assert main(["race", "--topology", "line", "--n", "4"]) == 0
+    assert "no loop edges" in capsys.readouterr().out
+
+
+def test_race_unknown_replica():
+    with pytest.raises(SystemExit):
+        main(["race", "--topology", "fig5", "--replica", "99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_modelcheck_command(capsys):
+    assert main(["modelcheck", "--topology", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "states" in out
+
+
+def test_modelcheck_command_caps_states(capsys):
+    assert (
+        main(
+            [
+                "modelcheck",
+                "--topology",
+                "line",
+                "--n",
+                "3",
+                "--writes-per-replica",
+                "2",
+                "--max-states",
+                "100000",
+            ]
+        )
+        == 0
+    )

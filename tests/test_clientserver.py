@@ -1,0 +1,245 @@
+"""Tests for the client-server architecture (Section 6 / Appendix E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ShareGraph
+from repro.clientserver import (
+    ClientAssignment,
+    ClientServerSystem,
+    all_augmented_timestamp_graphs,
+    augmented_edges,
+    augmented_timestamp_graph,
+)
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError, UnknownRegisterError
+from repro.network.delays import UniformDelay
+
+
+@pytest.fixture
+def disjoint_graph():
+    """Replicas 1 and 2 share nothing; a client bridges them."""
+    return ShareGraph({1: {"x"}, 2: {"y"}, 3: {"x", "z"}, 4: {"y", "z"}})
+
+
+# ----------------------------------------------------------------------
+# ClientAssignment and augmented graphs
+# ----------------------------------------------------------------------
+def test_assignment_validation(disjoint_graph):
+    with pytest.raises(ConfigurationError):
+        ClientAssignment(disjoint_graph, {})
+    with pytest.raises(ConfigurationError):
+        ClientAssignment(disjoint_graph, {"c": set()})
+    with pytest.raises(ConfigurationError):
+        ClientAssignment(disjoint_graph, {1: {1}})  # id collision
+    from repro.errors import UnknownReplicaError
+
+    with pytest.raises(UnknownReplicaError):
+        ClientAssignment(disjoint_graph, {"c": {99}})
+
+
+def test_assignment_accessors(disjoint_graph):
+    assignment = ClientAssignment(disjoint_graph, {"c": {1, 2}})
+    assert assignment.replicas_of("c") == {1, 2}
+    assert assignment.registers_of("c") == {"x", "y"}
+    assert assignment.co_assigned(1, 2)
+    assert not assignment.co_assigned(1, 3)
+
+
+def test_augmented_edges_add_client_pairs(disjoint_graph):
+    assignment = ClientAssignment(disjoint_graph, {"c": {1, 2}})
+    edges = augmented_edges(disjoint_graph, assignment)
+    assert (1, 2) in edges and (2, 1) in edges
+    assert disjoint_graph.edges <= edges
+
+
+def test_augmented_timestamp_graph_only_real_edges(disjoint_graph):
+    """Definition 28 intersects with E: client edges never get counters."""
+    assignment = ClientAssignment(disjoint_graph, {"c": {1, 2}})
+    g = augmented_timestamp_graph(disjoint_graph, assignment, 1)
+    assert (1, 2) not in g.edges
+    assert (2, 1) not in g.edges
+    for e in g.edges:
+        assert e in disjoint_graph.edges
+
+
+def test_client_edge_enables_loop(disjoint_graph):
+    """The client edge 1-2 closes the cycle 3-1-2-4 (via z), forcing
+    replicas to track edges a pure peer-to-peer analysis would skip."""
+    assignment = ClientAssignment(disjoint_graph, {"c": {1, 2}})
+    plain = all_timestamp_graphs(disjoint_graph)
+    augmented = all_augmented_timestamp_graphs(disjoint_graph, assignment)
+    grew = [
+        r
+        for r in disjoint_graph.replicas
+        if augmented[r].edges > plain[r].edges
+    ]
+    assert grew, "client bridging must add tracked edges somewhere"
+    for r in disjoint_graph.replicas:
+        assert plain[r].edges <= augmented[r].edges
+
+
+def test_no_clients_same_as_plain(disjoint_graph):
+    """A client confined to one replica adds no cross-replica edges."""
+    assignment = ClientAssignment(disjoint_graph, {"c": {1}})
+    plain = all_timestamp_graphs(disjoint_graph)
+    augmented = all_augmented_timestamp_graphs(disjoint_graph, assignment)
+    for r in disjoint_graph.replicas:
+        assert augmented[r].edges == plain[r].edges
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+def make_system(**kwargs):
+    placements = {1: {"x"}, 2: {"y"}, 3: {"x", "z"}, 4: {"y", "z"}}
+    defaults = dict(seed=81, think_time=0.2)
+    defaults.update(kwargs)
+    return ClientServerSystem(
+        placements, {"cA": {1, 2}, "cB": {3, 4}}, **defaults
+    )
+
+
+def test_write_then_read_same_client():
+    system = make_system()
+    system.client("cA").enqueue_write("x", 42)
+    system.client("cA").enqueue_read("x")
+    system.run()
+    assert system.all_clients_done()
+    ops = system.client("cA").completed
+    assert ops[0].kind == "write" and ops[0].uid is not None
+    assert ops[1].value == 42
+    assert system.check().ok
+
+
+def test_client_cannot_touch_unreachable_register():
+    system = make_system()
+    with pytest.raises(UnknownRegisterError):
+        system.client("cA").enqueue_read("z")
+    with pytest.raises(UnknownRegisterError):
+        system.client("cA").enqueue_write("z", 1)
+
+
+def test_cross_replica_session_dependency():
+    """cA writes x at a replica, then y at another; the checker verifies
+    the client propagated the dependency (Definition 25 (ii))."""
+    system = make_system(delay_model=UniformDelay(0.5, 8.0))
+    system.client("cA").enqueue_write("x", 1)
+    system.client("cA").enqueue_write("y", 2)
+    system.run()
+    assert system.all_clients_done()
+    h = system.history
+    updates = h.all_updates()
+    assert len(updates) == 2
+    assert h.happened_before(updates[0], updates[1])
+    assert system.check().ok
+
+
+def test_updates_propagate_between_replicas():
+    system = make_system()
+    system.client("cB").enqueue_write("z", "shared")
+    system.run()
+    assert system.replica(3).store["z"] == "shared"
+    assert system.replica(4).store["z"] == "shared"
+
+
+def test_many_random_ops_stay_consistent():
+    from repro.harness.experiments import e12_client_server_run
+
+    system = e12_client_server_run(ops_per_client=25, seed=83)
+    assert system.all_clients_done()
+    result = system.check()
+    assert result.ok, str(result)
+
+
+def test_consistency_under_heavy_reordering():
+    import random
+
+    system = make_system(seed=85, delay_model=UniformDelay(0.1, 20.0))
+    rng = random.Random(85)
+    for cid, client in sorted(system.clients.items()):
+        regs = sorted(system.assignment.registers_of(cid))
+        for n in range(15):
+            reg = rng.choice(regs)
+            if rng.random() < 0.4:
+                client.enqueue_read(reg)
+            else:
+                client.enqueue_write(reg, f"{cid}{n}")
+    system.run()
+    assert system.all_clients_done()
+    assert system.check().ok
+
+
+def test_unknown_client_or_replica():
+    system = make_system()
+    with pytest.raises(ConfigurationError):
+        system.client("ghost")
+    with pytest.raises(ConfigurationError):
+        system.replica(99)
+
+
+def test_metadata_counters_exposed():
+    system = make_system()
+    counters = system.metadata_counters()
+    assert set(counters) == {1, 2, 3, 4}
+    assert all(v >= 2 for v in counters.values())
+
+
+def test_deterministic_replay():
+    def run(seed):
+        system = make_system(seed=seed)
+        system.client("cA").enqueue_write("x", 1)
+        system.client("cB").enqueue_write("z", 2)
+        system.client("cA").enqueue_read("y")
+        system.run()
+        return [
+            (e.kind, e.replica, e.uid, e.client, round(e.time, 9))
+            for e in system.history.events
+        ]
+
+    assert run(87) == run(87)
+
+
+def test_selection_strategies_all_consistent():
+    import random as _random
+
+    for selection in ("random", "sticky", "round-robin"):
+        system = make_system(seed=91, selection=selection)
+        rng = _random.Random(91)
+        for cid, client in sorted(system.clients.items()):
+            regs = sorted(system.assignment.registers_of(cid))
+            for n in range(10):
+                reg = rng.choice(regs)
+                if rng.random() < 0.5:
+                    client.enqueue_read(reg)
+                else:
+                    client.enqueue_write(reg, f"{selection}{n}")
+        system.run()
+        assert system.all_clients_done()
+        assert system.check().ok, selection
+
+
+def test_sticky_selection_pins_replica():
+    system = make_system(selection="sticky")
+    client = system.client("cB")
+    for _ in range(4):
+        client.enqueue_write("z", 1)
+    system.run()
+    replicas = {op.replica for op in client.completed}
+    assert len(replicas) == 1
+
+
+def test_round_robin_rotates():
+    system = make_system(selection="round-robin")
+    client = system.client("cB")
+    for _ in range(4):
+        client.enqueue_write("z", 1)
+    system.run()
+    replicas = [op.replica for op in client.completed]
+    assert replicas == [3, 4, 3, 4]
+
+
+def test_unknown_selection_rejected():
+    with pytest.raises(ConfigurationError):
+        make_system(selection="nearest")

@@ -1,0 +1,114 @@
+"""Property-based tests for the client-server architecture."""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import ShareGraph
+from repro.clientserver import (
+    ClientAssignment,
+    ClientServerSystem,
+    all_augmented_timestamp_graphs,
+)
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.network.delays import UniformDelay
+
+
+@st.composite
+def cs_setup(draw):
+    """A random placement plus random client assignments."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    n_regs = draw(st.integers(min_value=1, max_value=5))
+    registers = [f"x{m}" for m in range(n_regs)]
+    placements = {}
+    for r in range(1, n + 1):
+        subset = draw(
+            st.sets(st.sampled_from(registers), min_size=1, max_size=n_regs)
+        )
+        placements[r] = set(subset) | {f"p{r}"}
+    n_clients = draw(st.integers(min_value=1, max_value=3))
+    clients = {}
+    for c in range(n_clients):
+        clients[f"c{c}"] = set(
+            draw(
+                st.sets(
+                    st.sampled_from(list(range(1, n + 1))),
+                    min_size=1,
+                    max_size=n,
+                )
+            )
+        )
+    return placements, clients
+
+
+@given(cs_setup())
+@settings(max_examples=40, deadline=None)
+def test_augmented_graphs_dominate_plain(setup):
+    placements, clients = setup
+    graph = ShareGraph(placements)
+    assignment = ClientAssignment(graph, clients)
+    plain = all_timestamp_graphs(graph)
+    augmented = all_augmented_timestamp_graphs(graph, assignment)
+    for r in graph.replicas:
+        # Monotonicity: client edges can only force MORE tracking.
+        assert plain[r].edges <= augmented[r].edges
+        # And the result stays within the real share graph (Def. 28).
+        assert augmented[r].edges <= graph.edges
+
+
+@given(cs_setup(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_random_client_server_runs_satisfy_definition_26(setup, seed):
+    placements, clients = setup
+    system = ClientServerSystem(
+        placements,
+        clients,
+        seed=seed,
+        delay_model=UniformDelay(0.1, 8.0),
+        think_time=0.1,
+    )
+    rng = random.Random(seed)
+    for cid, client in sorted(system.clients.items()):
+        registers = sorted(system.assignment.registers_of(cid))
+        for n in range(rng.randint(1, 8)):
+            register = rng.choice(registers)
+            if rng.random() < 0.5:
+                client.enqueue_read(register)
+            else:
+                client.enqueue_write(register, f"{cid}:{n}")
+    system.run()
+    assert system.all_clients_done()  # liveness clause 2
+    result = system.check()
+    assert result.ok, str(result)
+
+
+@given(cs_setup(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_read_your_writes_session_guarantee(setup, seed):
+    """Any read following a write of the same register by the same client
+    returns that write's value or a newer one -- never an older one."""
+    placements, clients = setup
+    system = ClientServerSystem(
+        placements, clients, seed=seed, delay_model=UniformDelay(0.1, 6.0)
+    )
+    rng = random.Random(seed ^ 0x5EED)
+    per_client_registers = {}
+    for cid, client in sorted(system.clients.items()):
+        registers = sorted(system.assignment.registers_of(cid))
+        register = rng.choice(registers)
+        per_client_registers[cid] = register
+        client.enqueue_write(register, f"{cid}:final")
+        client.enqueue_read(register)
+    system.run()
+    assert system.all_clients_done()
+    for cid, register in per_client_registers.items():
+        ops = system.clients[cid].completed
+        write_op, read_op = ops[0], ops[1]
+        assert write_op.kind == "write" and read_op.kind == "read"
+        # The value read is the client's own write unless some other
+        # client overwrote it meanwhile -- but it can never be None
+        # (pre-write) because of session safety.
+        assert read_op.value is not None

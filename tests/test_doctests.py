@@ -1,0 +1,20 @@
+"""Run the doctests embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.share_graph
+import repro.types
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.share_graph, repro.types],
+    ids=lambda m: m.__name__,
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0

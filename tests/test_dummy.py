@@ -1,0 +1,137 @@
+"""Tests for dummy registers and false-dependency accounting (Appendix D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DSMSystem, ShareGraph
+from repro.errors import ConfigurationError
+from repro.optimizations import (
+    add_dummy_registers,
+    emulate_full_replication,
+    false_dependencies,
+    neighbor_closure_dummies,
+)
+from repro.workloads import (
+    fig3_placements,
+    ring_placements,
+    run_workload,
+    uniform_writes,
+)
+
+
+def test_add_dummy_registers_creates_edges(fig3_graph):
+    augmented, dummy_map = add_dummy_registers(fig3_graph, {1: {"z"}})
+    assert augmented.is_edge(1, 3)
+    assert augmented.is_edge(1, 4)
+    assert dummy_map == {1: frozenset({"z"})}
+
+
+def test_add_dummy_validation(fig3_graph):
+    with pytest.raises(ConfigurationError):
+        add_dummy_registers(fig3_graph, {99: {"x"}})
+    with pytest.raises(ConfigurationError):
+        add_dummy_registers(fig3_graph, {1: {"ghost"}})
+    with pytest.raises(ConfigurationError):
+        add_dummy_registers(fig3_graph, {1: {"x"}})  # already stored
+
+
+def test_emulate_full_replication(fig3_graph):
+    augmented, dummy_map = emulate_full_replication(fig3_graph)
+    assert augmented.is_full_replication()
+    # Replica 1 originally stored only x.
+    assert dummy_map[1] == {"y", "z"}
+
+
+def test_neighbor_closure_smaller_than_full(ring6_graph):
+    aug_n, dummies_n = neighbor_closure_dummies(ring6_graph)
+    aug_f, dummies_f = emulate_full_replication(ring6_graph)
+    total_n = sum(len(v) for v in dummies_n.values())
+    total_f = sum(len(v) for v in dummies_f.values())
+    assert 0 < total_n < total_f
+
+
+def test_dummy_run_stays_consistent(fig3_graph):
+    augmented, dummy_map = emulate_full_replication(fig3_graph)
+    system = DSMSystem(augmented, dummy_registers=dummy_map, seed=41)
+    writable = {r: fig3_graph.registers_at(r) for r in fig3_graph.replicas}
+    stream = uniform_writes(augmented, 100, seed=42, writable=writable)
+    run_workload(system, stream)
+    assert system.quiescent()
+    assert system.check().ok
+
+
+def test_dummy_emulation_sends_more_messages(fig3_graph):
+    def message_count(graph, dummy_map):
+        system = DSMSystem(graph, dummy_registers=dummy_map, seed=43)
+        writable = {
+            r: fig3_graph.registers_at(r) for r in fig3_graph.replicas
+        }
+        stream = uniform_writes(graph, 80, seed=44, writable=writable)
+        run_workload(system, stream)
+        assert system.check().ok
+        return system.network.stats.messages_sent
+
+    plain = message_count(fig3_graph, {})
+    augmented, dummy_map = emulate_full_replication(fig3_graph)
+    emulated = message_count(augmented, dummy_map)
+    assert emulated > plain
+
+
+def test_false_dependencies_zero_without_dummies(fig3_graph):
+    system = DSMSystem(fig3_graph, seed=45)
+    stream = uniform_writes(fig3_graph, 80, seed=46)
+    run_workload(system, stream)
+    fd = false_dependencies(system.history, fig3_graph)
+    assert fd["false"] == 0
+    assert fd["true"] > 0
+
+
+def test_false_dependencies_appear_with_dummies(fig3_graph):
+    augmented, dummy_map = emulate_full_replication(fig3_graph)
+    system = DSMSystem(augmented, dummy_registers=dummy_map, seed=47)
+    writable = {r: fig3_graph.registers_at(r) for r in fig3_graph.replicas}
+    stream = uniform_writes(augmented, 120, seed=48, writable=writable)
+    run_workload(system, stream)
+    fd = false_dependencies(system.history, fig3_graph)
+    assert fd["false"] > 0
+
+
+def test_paper_false_dependency_scenario():
+    """Appendix D's concrete example: i writes x (not shared with j), j
+    writes y (not shared with i); with a dummy copy of x at j the pair
+    becomes ordered, without it the writes are concurrent."""
+    placements = {1: {"x", "s"}, 2: {"y", "s"}}
+    graph = ShareGraph(placements)
+
+    # Without dummies: concurrent.
+    plain = DSMSystem(graph, seed=49)
+    u1 = plain.client(1).write("x", 1)
+    plain.run()
+    u2 = plain.client(2).write("y", 2)
+    plain.run()
+    assert plain.history.concurrent(u1, u2)
+
+    # With a dummy copy of x at replica 2: u1 -> u2 (a false dependency).
+    augmented, dummy_map = add_dummy_registers(graph, {2: {"x"}})
+    dummied = DSMSystem(augmented, dummy_registers=dummy_map, seed=50)
+    d1 = dummied.client(1).write("x", 1)
+    dummied.run()  # metadata update applied at 2
+    d2 = dummied.client(2).write("y", 2)
+    dummied.run()
+    assert dummied.history.happened_before(d1, d2)
+    fd = false_dependencies(dummied.history, graph)
+    assert fd["false"] == 1
+
+
+def test_full_emulation_timestamps_compress_to_vc(ring6_graph):
+    """After full-replication emulation the (compressed) timestamp equals
+    a length-R vector clock -- the Appendix D headline."""
+    from repro.core.timestamp_graph import timestamp_graph
+    from repro.optimizations import compressed_length
+
+    augmented, _ = emulate_full_replication(ring6_graph)
+    tg = timestamp_graph(augmented, 1)
+    comp, raw = compressed_length(augmented, 1, tg.edges)
+    assert comp == len(ring6_graph)
+    assert raw == len(augmented.edges)

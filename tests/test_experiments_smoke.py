@@ -1,0 +1,54 @@
+"""Smoke tests for harness experiment functions (small parameters).
+
+The benchmarks run these at full scale; here every experiment function is
+exercised quickly so a refactor cannot silently break the harness.
+"""
+
+from __future__ import annotations
+
+from repro.harness import experiments as E
+
+
+def test_e8b_wire_bytes_small():
+    table = E.e8b_wire_bytes(writes=40)
+    assert len(table.rows) == 6
+    assert all(int(v) > 0 for v in table.column("raw bytes"))
+
+
+def test_e9_dummy_registers_small():
+    table = E.e9_dummy_registers(writes=40)
+    assert table.column("variant")[0].startswith("none")
+    assert all(v == "True" for v in table.column("consistent"))
+
+
+def test_e10_ring_breaking_small():
+    table = E.e10_ring_breaking(n=4, writes=30)
+    assert len(table.rows) == 2
+    assert all(v == "True" for v in table.column("consistent"))
+
+
+def test_e11_bounded_loops_small():
+    table = E.e11_bounded_loops(n=6, writes=60, seeds=[1])
+    caps = table.column("loop cap")
+    assert "exact" in caps
+    # Exact rows report zero violations in both delay modes.
+    for cap, violations in zip(caps, table.column("safety violations")):
+        if cap == "exact":
+            assert violations == "0"
+
+
+def test_e11_adversarial_race_small():
+    broken = E.e11_adversarial_race(n=6, bounded_cap=3)
+    assert len(broken.check().safety) >= 1
+    exact = E.e11_adversarial_race(n=6, bounded_cap=None)
+    assert exact.check().ok
+
+
+def test_e13_multicast_small():
+    table = E.e13_multicast(messages=20)
+    assert all(v == "True" for v in table.column("causal delivery OK"))
+
+
+def test_e14_protocol_costs_small():
+    table = E.e14_protocol_costs(writes=40)
+    assert all(v == "True" for v in table.column("consistent"))

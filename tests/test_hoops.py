@@ -1,0 +1,123 @@
+"""Unit tests for Helary-Milani hoops and the counter-example analysis."""
+
+from __future__ import annotations
+
+from repro import ShareGraph, timestamp_graph
+from repro.core.hoops import (
+    belongs_to_minimal_x_hoop,
+    hoop_tracked_edges,
+    hoop_tracked_registers,
+    is_minimal_hoop,
+    is_modified_minimal_hoop,
+    minimal_hoop_labels,
+    modified_minimal_hoop_labels,
+    x_hoops,
+)
+
+
+def test_x_hoops_on_fig6(fig6_graph):
+    hoops = list(x_hoops(fig6_graph, "x", "j", "k"))
+    # The 7-cycle path is among them and passes through i.
+    assert ("j", "b1", "b2", "i", "a1", "a2", "k") in hoops
+    for hoop in hoops:
+        assert hoop[0] == "j" and hoop[-1] == "k"
+        for interior in hoop[1:-1]:
+            assert "x" not in fig6_graph.registers_at(interior)
+
+
+def test_x_hoops_interior_avoids_storers():
+    graph = ShareGraph(
+        {1: {"x", "a"}, 2: {"a", "x"}, 3: {"x", "b"}, 4: {"b", "c"}}
+    )
+    # 2 stores x, so it cannot be an interior vertex of an x-hoop.
+    hoops = list(x_hoops(graph, "x", 1, 3))
+    assert hoops == []
+
+
+def test_x_hoops_requires_non_x_edge_labels():
+    graph = ShareGraph({1: {"x"}, 2: {"x"}, 3: {"x", "y"}})
+    # Only shared register between 1 and 2 via 3 would be x itself.
+    assert list(x_hoops(graph, "x", 1, 2)) == []
+
+
+def test_fig6_hoop_is_minimal_but_edge_untracked(fig6_graph):
+    """The heart of Section 3.2: Definition 18 says replica i must track
+    x, Theorem 8 says it need not."""
+    hoop = ("j", "b1", "b2", "i", "a1", "a2", "k")
+    assert is_minimal_hoop(fig6_graph, "x", hoop)
+    assert belongs_to_minimal_x_hoop(fig6_graph, "i", "x")
+    gi = timestamp_graph(fig6_graph, "i")
+    assert ("j", "k") not in gi.edges
+    assert ("k", "j") not in gi.edges
+
+
+def test_minimal_hoop_labels_are_valid(fig6_graph):
+    hoop = ("j", "b1", "b2", "i", "a1", "a2", "k")
+    labels = minimal_hoop_labels(fig6_graph, "x", hoop)
+    assert labels is not None
+    assert len(set(labels)) == len(labels)  # pairwise distinct
+    shared_jk = fig6_graph.shared("j", "k")
+    for (u, v), label in zip(zip(hoop, hoop[1:]), labels):
+        assert label in fig6_graph.shared(u, v)
+        assert label != "x"
+        assert label not in shared_jk
+
+
+def test_fig8b_modified_hoop_fails_but_edge_required(fig8b_graph):
+    """Appendix A: the modified definition is *not* sufficient."""
+    hoop = ("j", "b1", "b2", "i", "a1", "a2", "k")
+    assert not is_modified_minimal_hoop(fig8b_graph, "x", hoop)
+    assert not belongs_to_minimal_x_hoop(fig8b_graph, "i", "x", modified=True)
+    gi = timestamp_graph(fig8b_graph, "i")
+    assert ("k", "j") in gi.edges
+
+
+def test_fig8b_original_hoop_is_minimal(fig8b_graph):
+    hoop = ("j", "b1", "b2", "i", "a1", "a2", "k")
+    assert is_minimal_hoop(fig8b_graph, "x", hoop)
+
+
+def test_modified_labels_respect_two_replica_rule(fig6_graph):
+    hoop = ("j", "b1", "b2", "i", "a1", "a2", "k")
+    labels = modified_minimal_hoop_labels(fig6_graph, "x", hoop)
+    if labels is not None:
+        members = set(hoop)
+        for label in labels:
+            holders = fig6_graph.replicas_storing(label) & members
+            assert len(holders) <= 2
+
+
+def test_hoop_tracked_registers_includes_stored(fig6_graph):
+    tracked = hoop_tracked_registers(fig6_graph, "i")
+    assert fig6_graph.registers_at("i") <= tracked
+    assert "x" in tracked  # Def. 18 wrongly demands it
+
+
+def test_hoop_tracked_edges_superset_of_incident(fig6_graph):
+    edges = hoop_tracked_edges(fig6_graph, "i")
+    for n in fig6_graph.neighbors("i"):
+        assert ("i", n) in edges
+        assert (n, "i") in edges
+
+
+def test_hoop_edges_vs_timestamp_graph_on_fig6(fig6_graph):
+    """Definition 18 over-tracks relative to Theorem 8 at replica i."""
+    hoop_edges = hoop_tracked_edges(fig6_graph, "i")
+    ours = timestamp_graph(fig6_graph, "i").edges
+    assert ("j", "k") in hoop_edges and ("j", "k") not in ours
+    assert len(hoop_edges) > len(ours)
+
+
+def test_modified_hoop_under_tracks_on_fig8b(fig8b_graph):
+    """Definition 20 drops an edge Theorem 8 requires at replica i."""
+    modified = hoop_tracked_edges(fig8b_graph, "i", modified=True)
+    ours = timestamp_graph(fig8b_graph, "i").edges
+    assert ("k", "j") in ours and ("k", "j") not in modified
+
+
+def test_no_hoop_in_tree():
+    graph = ShareGraph({1: {"x", "a"}, 2: {"a", "b"}, 3: {"b", "x"}})
+    # 1 and 3 share x; the path 1-2-3 is an x-hoop (2 stores neither x).
+    hoops = list(x_hoops(graph, "x", 1, 3))
+    assert hoops == [(1, 2, 3)]
+    assert is_minimal_hoop(graph, "x", (1, 2, 3))

@@ -1,0 +1,125 @@
+"""Property-based tests for hoops and the conflict oracle."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import ShareGraph
+from repro.core.hoops import (
+    is_minimal_hoop,
+    is_modified_minimal_hoop,
+    minimal_hoop_labels,
+    modified_minimal_hoop_labels,
+    x_hoops,
+)
+from repro.lowerbound.conflict import ConflictOracle, edge_order
+
+
+@st.composite
+def placements_strategy(draw, max_replicas=6, max_registers=7):
+    n = draw(st.integers(min_value=2, max_value=max_replicas))
+    n_regs = draw(st.integers(min_value=1, max_value=max_registers))
+    registers = [f"x{m}" for m in range(n_regs)]
+    placements = {}
+    for r in range(1, n + 1):
+        subset = draw(
+            st.sets(st.sampled_from(registers), min_size=1, max_size=n_regs)
+        )
+        placements[r] = set(subset) | {f"p{r}"}
+    return placements
+
+
+@given(placements_strategy())
+@settings(max_examples=40, deadline=None)
+def test_hoops_are_structurally_valid(placements):
+    graph = ShareGraph(placements)
+    registers = sorted(graph.registers)
+    for x in registers[:3]:
+        storing = sorted(
+            graph.replicas_storing(x), key=lambda v: (str(type(v)), repr(v))
+        )
+        for ia, r_a in enumerate(storing):
+            for r_b in storing[ia + 1 :]:
+                for hoop in x_hoops(graph, x, r_a, r_b, max_len=5):
+                    # Endpoints store x, interior does not.
+                    assert x in graph.registers_at(hoop[0])
+                    assert x in graph.registers_at(hoop[-1])
+                    for interior in hoop[1:-1]:
+                        assert x not in graph.registers_at(interior)
+                    # Hops are adjacent with a non-x register.
+                    for u, v in zip(hoop, hoop[1:]):
+                        assert graph.shared(u, v) - {x}
+
+
+@given(placements_strategy())
+@settings(max_examples=30, deadline=None)
+def test_minimal_hoop_labels_satisfy_their_definitions(placements):
+    graph = ShareGraph(placements)
+    registers = sorted(graph.registers)
+    for x in registers[:2]:
+        storing = sorted(
+            graph.replicas_storing(x), key=lambda v: (str(type(v)), repr(v))
+        )
+        for ia, r_a in enumerate(storing):
+            for r_b in storing[ia + 1 :]:
+                for hoop in x_hoops(graph, x, r_a, r_b, max_len=5):
+                    labels = minimal_hoop_labels(graph, x, hoop)
+                    assert (labels is not None) == is_minimal_hoop(
+                        graph, x, hoop
+                    )
+                    if labels is not None:
+                        assert len(set(labels)) == len(labels)
+                        forbidden = graph.shared(r_a, r_b) | {x}
+                        assert not set(labels) & forbidden
+                    mod = modified_minimal_hoop_labels(graph, x, hoop)
+                    assert (mod is not None) == is_modified_minimal_hoop(
+                        graph, x, hoop
+                    )
+                    if mod is not None:
+                        members = set(hoop)
+                        for label in mod:
+                            holders = graph.replicas_storing(label) & members
+                            assert len(holders) <= 2
+
+
+@given(placements_strategy(max_replicas=4, max_registers=4))
+@settings(max_examples=30, deadline=None)
+def test_conflict_oracle_is_symmetric_and_irreflexive(placements):
+    graph = ShareGraph(placements)
+    order = edge_order(graph)
+    if not order:
+        return
+    anchor = graph.replicas[0]
+    oracle = ConflictOracle(graph, anchor)
+    import itertools
+
+    vectors = list(itertools.product((1, 2), repeat=len(order)))[:16]
+    for v in vectors:
+        assert not oracle.conflicts(v, v)
+    for a, b in itertools.combinations(vectors, 2):
+        assert oracle.conflicts(a, b) == oracle.conflicts(b, a)
+
+
+@given(placements_strategy(max_replicas=4, max_registers=4))
+@settings(max_examples=25, deadline=None)
+def test_incident_difference_always_conflicts(placements):
+    """Any two all-positive vectors differing on an anchor-incident edge
+    must conflict (Definition 13, first shape)."""
+    graph = ShareGraph(placements)
+    order = edge_order(graph)
+    anchor = graph.replicas[0]
+    incident = [
+        idx
+        for idx, e in enumerate(order)
+        if anchor in e
+    ]
+    if not incident:
+        return
+    oracle = ConflictOracle(graph, anchor)
+    base = tuple(1 for _ in order)
+    for idx in incident:
+        other = tuple(
+            2 if i == idx else 1 for i in range(len(order))
+        )
+        assert oracle.conflicts(base, other)

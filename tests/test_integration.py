@@ -1,0 +1,137 @@
+"""End-to-end integration: every topology x delay model stays consistent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DSMSystem, ShareGraph
+from repro.baselines import full_track_policy
+from repro.network.delays import (
+    ExponentialDelay,
+    FixedDelay,
+    UniformDelay,
+)
+from repro.workloads import (
+    clique_placements,
+    fig3_placements,
+    fig5_placements,
+    fig6_counterexample_placements,
+    fig8b_placements,
+    grid_placements,
+    line_placements,
+    random_placements,
+    ring_placements,
+    run_workload,
+    star_placements,
+    tree_placements,
+    uniform_writes,
+)
+
+TOPOLOGIES = [
+    ("fig3", fig3_placements()),
+    ("fig5", fig5_placements()),
+    ("fig6", fig6_counterexample_placements()),
+    ("fig8b", fig8b_placements()),
+    ("line-6", line_placements(6)),
+    ("ring-6", ring_placements(6)),
+    ("star-6", star_placements(6)),
+    ("clique-4", clique_placements(4)),
+    ("grid-2x3", grid_placements(2, 3)),
+    ("tree-8", tree_placements(8, seed=1)),
+    ("random-7-f2", random_placements(7, 9, 2, seed=2)),
+    ("random-7-f3", random_placements(7, 9, 3, seed=2)),
+]
+
+DELAYS = [
+    ("fixed", FixedDelay(1.0)),
+    ("uniform", UniformDelay(0.1, 8.0)),
+    ("exponential", ExponentialDelay(mean=2.0, base=0.05)),
+]
+
+
+@pytest.mark.parametrize("topo_name,placements", TOPOLOGIES)
+@pytest.mark.parametrize("delay_name,delay", DELAYS)
+def test_causal_consistency_everywhere(topo_name, placements, delay_name, delay):
+    system = DSMSystem(placements, seed=101, delay_model=delay)
+    stream = uniform_writes(system.graph, 150, seed=102)
+    run_workload(system, stream)
+    assert system.quiescent(), f"{topo_name}/{delay_name} not quiescent"
+    result = system.check()
+    assert result.ok, f"{topo_name}/{delay_name}: {result}"
+
+
+@pytest.mark.parametrize("topo_name,placements", TOPOLOGIES[:6])
+def test_full_track_agrees_with_ours(topo_name, placements):
+    """Both policies must converge to identical final register values for
+    the same workload and seed (they deliver the same updates)."""
+
+    def final_state(policy_factory):
+        system = DSMSystem(
+            placements,
+            policy_factory=policy_factory,
+            seed=103,
+            delay_model=UniformDelay(0.2, 6.0),
+        )
+        stream = uniform_writes(system.graph, 120, seed=104)
+        run_workload(system, stream)
+        assert system.check().ok
+        return {
+            rid: dict(replica.store)
+            for rid, replica in system.replicas.items()
+        }
+
+    assert final_state(None) == final_state(full_track_policy)
+
+
+def test_convergence_of_shared_registers():
+    """At quiescence every pair of replicas agrees on shared registers
+    written by a single writer (per-register single-writer workload)."""
+    placements = fig5_placements()
+    system = DSMSystem(placements, seed=105, delay_model=UniformDelay(0.1, 5.0))
+    graph = system.graph
+    # Assign each register a unique writer to avoid concurrent-write
+    # ambiguity; then everyone must converge to the writer's last value.
+    writer = {x: sorted(graph.replicas_storing(x))[0] for x in graph.registers}
+    clock = 0.0
+    last = {}
+    import random
+
+    rng = random.Random(106)
+    registers = sorted(graph.registers)
+    for n in range(200):
+        clock += rng.expovariate(1.0)
+        x = rng.choice(registers)
+        system.schedule_write(clock, writer[x], x, n)
+        last[x] = n
+    system.run()
+    assert system.check().ok
+    for x in registers:
+        for r in graph.replicas_storing(x):
+            assert system.replica(r).read(x) == last[x]
+
+
+def test_long_run_stress():
+    placements = random_placements(9, 14, 3, seed=7)
+    system = DSMSystem(placements, seed=107, delay_model=ExponentialDelay(3.0))
+    stream = uniform_writes(system.graph, 800, seed=108, rate=5.0)
+    run_workload(system, stream)
+    assert system.quiescent()
+    assert system.check().ok
+    m = system.metrics()
+    assert m.issued == 800
+
+
+def test_disconnected_share_graph_still_works():
+    placements = {1: {"x"}, 2: {"x"}, 3: {"y"}, 4: {"y"}}
+    system = DSMSystem(placements, seed=109)
+    stream = uniform_writes(system.graph, 100, seed=110)
+    run_workload(system, stream)
+    assert system.check().ok
+
+
+def test_single_replica_system():
+    system = DSMSystem({1: {"x"}}, seed=111)
+    system.client(1).write("x", 5)
+    system.run()
+    assert system.client(1).read("x") == 5
+    assert system.check().ok

@@ -1,0 +1,178 @@
+"""Tests for the exhaustive model checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError
+from repro.modelcheck import ModelChecker
+from repro.workloads import fig3_placements, fig5_placements
+
+
+def oblivious_factory(graph, victim, edge):
+    graphs = all_timestamp_graphs(graph)
+
+    def factory(g, rid):
+        edges = graphs[rid].edges
+        if rid == victim:
+            edges = edges - {edge}
+        return EdgeIndexedPolicy.unsafe_with_edges(g, rid, edges)
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# The exact algorithm: zero violations over ALL interleavings
+# ----------------------------------------------------------------------
+def test_exact_algorithm_exhaustively_safe_on_line():
+    graph = ShareGraph(fig3_placements())
+    mc = ModelChecker(graph, {1: ["x"], 2: ["x", "y"], 3: ["y", "z"]})
+    result = mc.run()
+    assert result.ok, str(result)
+    assert result.terminal_states >= 1
+    assert not result.truncated
+
+
+def test_exact_algorithm_exhaustively_safe_on_triangle(triangle_graph):
+    mc = ModelChecker(
+        triangle_graph, {1: ["a", "c"], 2: ["a", "b"], 3: ["b"]}
+    )
+    result = mc.run()
+    assert result.ok, str(result)
+    assert result.states_explored > 100  # genuinely explored a space
+
+
+def test_exact_algorithm_exhaustively_safe_on_fig5():
+    graph = ShareGraph(fig5_placements())
+    mc = ModelChecker(graph, {3: ["x"], 2: ["y"], 1: ["w"], 4: ["z"]})
+    result = mc.run()
+    assert result.ok, str(result)
+
+
+def test_terminal_states_have_everything_applied():
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    mc = ModelChecker(graph, {1: ["x", "x"], 2: ["x"]})
+    result = mc.run()
+    assert result.ok
+    assert result.terminal_states >= 1
+
+
+# ----------------------------------------------------------------------
+# Exhaustive necessity: oblivious policies are caught
+# ----------------------------------------------------------------------
+def test_oblivious_incident_edge_caught_exhaustively():
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    factory = oblivious_factory(graph, victim=2, edge=(1, 2))
+
+    def both(g, rid):
+        # Both ends oblivious so the gap check disappears entirely.
+        graphs = all_timestamp_graphs(g)
+        return EdgeIndexedPolicy.unsafe_with_edges(
+            g, rid, graphs[rid].edges - {(1, 2)}
+        )
+
+    mc = ModelChecker(graph, {1: ["x", "x"]}, policy_factory=both)
+    result = mc.run()
+    assert not result.ok
+    assert any(v.kind == "safety" for v in result.violations)
+
+
+def test_oblivious_loop_edge_caught_exhaustively(triangle_graph):
+    """Triangle: e_23 is in G_1's loop edges; an oblivious replica 1 is
+    exhaustively shown unsafe -- some interleaving breaks."""
+    assert (2, 3) in all_timestamp_graphs(triangle_graph)[1].loop_edges
+    factory = oblivious_factory(triangle_graph, victim=1, edge=(2, 3))
+    mc = ModelChecker(
+        triangle_graph,
+        # 2 writes b (shared with 3), then a (shared with 1); 1 then
+        # writes c (shared with 3): the Theorem 8 chain in miniature.
+        {2: ["b", "a"], 1: ["c"]},
+        policy_factory=factory,
+    )
+    result = mc.run()
+    assert not result.ok
+    assert any(
+        v.kind == "safety" and v.replica == 3 for v in result.violations
+    )
+
+
+def test_exact_policy_on_same_programs_is_clean(triangle_graph):
+    mc = ModelChecker(triangle_graph, {2: ["b", "a"], 1: ["c"]})
+    result = mc.run()
+    assert result.ok, str(result)
+
+
+def test_oblivious_sender_dilemma_apply_branch():
+    """Theorem 8 Cases 1-2 present a dilemma: a receiver that cannot
+    distinguish executions must either apply too early (safety) or wait
+    forever (liveness).  Our permissive `ready` picks the apply branch:
+    with the sender oblivious to (1,2), two writes can apply out of
+    order."""
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    graphs = all_timestamp_graphs(graph)
+
+    def sender_only(g, rid):
+        edges = graphs[rid].edges
+        if rid == 1:
+            edges = edges - {(1, 2)}
+        return EdgeIndexedPolicy.unsafe_with_edges(g, rid, edges)
+
+    mc = ModelChecker(graph, {1: ["x", "x"]}, policy_factory=sender_only)
+    result = mc.run()
+    assert not result.ok
+    assert any(v.kind == "safety" for v in result.violations)
+
+
+def test_oblivious_sender_dilemma_wait_branch():
+    """The other horn: a strict receiver (missing counters read as 0)
+    waits forever for an update the oblivious sender will never number --
+    a stuck state the checker reports as a liveness violation."""
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    graphs = all_timestamp_graphs(graph)
+
+    class StrictPolicy(EdgeIndexedPolicy):
+        def ready(self, ts, sender, sender_ts):
+            e_ki = (sender, self.replica_id)
+            own = ts.get(e_ki, 0)
+            incoming = sender_ts.get(e_ki, 0)  # missing counter -> 0
+            return own == incoming - 1
+
+    def factory(g, rid):
+        edges = graphs[rid].edges
+        if rid == 1:
+            edges = edges - {(1, 2)}
+        policy = StrictPolicy.unsafe_with_edges(g, rid, edges)
+        return policy
+
+    mc = ModelChecker(graph, {1: ["x"]}, policy_factory=factory)
+    result = mc.run()
+    assert not result.ok
+    assert any(v.kind == "liveness" for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# Mechanics
+# ----------------------------------------------------------------------
+def test_program_validation():
+    graph = ShareGraph(fig3_placements())
+    with pytest.raises(ConfigurationError):
+        ModelChecker(graph, {99: ["x"]})
+    with pytest.raises(ConfigurationError):
+        ModelChecker(graph, {1: ["z"]})
+
+
+def test_truncation_guard():
+    graph = ShareGraph(fig3_placements())
+    mc = ModelChecker(graph, {2: ["x", "y", "x", "y"], 3: ["y", "z", "y"]})
+    result = mc.run(max_states=50)
+    assert result.truncated
+
+
+def test_result_rendering():
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    mc = ModelChecker(graph, {1: ["x"]})
+    text = str(mc.run())
+    assert "OK" in text and "states" in text

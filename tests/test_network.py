@@ -1,0 +1,129 @@
+"""Unit tests for delay models and the transport layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    ExponentialDelay,
+    FixedDelay,
+    LooseSynchronyDelay,
+    Network,
+    PerEdgeDelay,
+    UniformDelay,
+)
+from repro.sim import Simulator
+
+
+def test_fixed_delay():
+    model = FixedDelay(2.5)
+    assert model.sample(1, 2, random.Random(0)) == 2.5
+
+
+def test_fixed_delay_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        FixedDelay(-1.0)
+
+
+def test_uniform_delay_in_range():
+    model = UniformDelay(1.0, 3.0)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert 1.0 <= model.sample(1, 2, rng) <= 3.0
+
+
+def test_uniform_delay_validation():
+    with pytest.raises(ConfigurationError):
+        UniformDelay(3.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        UniformDelay(-1.0, 1.0)
+
+
+def test_exponential_delay_above_base():
+    model = ExponentialDelay(mean=1.0, base=0.5)
+    rng = random.Random(2)
+    assert all(model.sample(1, 2, rng) >= 0.5 for _ in range(50))
+
+
+def test_exponential_delay_validation():
+    with pytest.raises(ConfigurationError):
+        ExponentialDelay(mean=0)
+
+
+def test_per_edge_delay_dispatch():
+    model = PerEdgeDelay(
+        {(1, 2): FixedDelay(10.0)}, default=FixedDelay(1.0)
+    )
+    rng = random.Random(0)
+    assert model.sample(1, 2, rng) == 10.0
+    assert model.sample(2, 1, rng) == 1.0
+
+
+def test_loose_synchrony_one_hop_beats_l_hops():
+    model = LooseSynchronyDelay(path_length=3, low=1.0)
+    rng = random.Random(3)
+    samples = [model.sample(1, 2, rng) for _ in range(200)]
+    # Any single hop is below the minimum total delay of a 3-hop path.
+    assert max(samples) < 3 * min(samples) + 1e-9
+    assert max(samples) < 3 * model.low
+
+
+def test_loose_synchrony_violation_mode():
+    model = LooseSynchronyDelay(
+        path_length=3, violate=True, stall=50.0, violation_probability=1.0
+    )
+    assert model.sample(1, 2, random.Random(0)) == 50.0
+
+
+def test_loose_synchrony_validation():
+    with pytest.raises(ConfigurationError):
+        LooseSynchronyDelay(path_length=1)
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+def test_delivery_and_stats():
+    sim = Simulator(seed=1)
+    net = Network(sim, delay_model=FixedDelay(1.0))
+    received = []
+    net.register("a", lambda src, msg: received.append((src, msg)))
+    net.register("b", lambda src, msg: None)
+    net.send("b", "a", "hello", metadata_counters=4)
+    assert net.stats.in_flight == 1
+    sim.run()
+    assert received == [("b", "hello")]
+    assert net.stats.messages_sent == 1
+    assert net.stats.messages_delivered == 1
+    assert net.stats.metadata_counters_sent == 4
+    assert net.stats.per_channel[("b", "a")] == 1
+
+
+def test_duplicate_registration_rejected():
+    net = Network(Simulator())
+    net.register("a", lambda s, m: None)
+    with pytest.raises(ConfigurationError):
+        net.register("a", lambda s, m: None)
+
+
+def test_send_to_unregistered_rejected():
+    net = Network(Simulator())
+    with pytest.raises(ConfigurationError):
+        net.send("a", "ghost", "msg")
+
+
+def test_non_fifo_reordering_possible():
+    """With uniform delays a later message can overtake an earlier one."""
+    sim = Simulator(seed=4)
+    net = Network(sim, delay_model=UniformDelay(0.1, 10.0))
+    order = []
+    net.register("dst", lambda src, msg: order.append(msg))
+    net.register("src", lambda src, msg: None)
+    for n in range(30):
+        net.send("src", "dst", n)
+    sim.run()
+    assert sorted(order) == list(range(30))
+    assert order != list(range(30))  # overtaking happened

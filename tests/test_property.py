@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) over random placements and schedules."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import (
+    DSMSystem,
+    EdgeIndexedPolicy,
+    ShareGraph,
+    Timestamp,
+    all_timestamp_graphs,
+    timestamp_graph,
+)
+from repro.optimizations import CompressedCodec
+from repro.optimizations import linalg
+from repro.workloads import run_workload, uniform_writes
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def placements_strategy(draw, max_replicas=6, max_registers=8):
+    """A random placement where every replica stores >= 1 register."""
+    n = draw(st.integers(min_value=2, max_value=max_replicas))
+    n_regs = draw(st.integers(min_value=1, max_value=max_registers))
+    registers = [f"x{m}" for m in range(n_regs)]
+    placements = {}
+    for r in range(1, n + 1):
+        subset = draw(
+            st.sets(st.sampled_from(registers), min_size=1, max_size=n_regs)
+        )
+        placements[r] = set(subset) | {f"p{r}"}
+    return placements
+
+
+# ----------------------------------------------------------------------
+# Structural invariants
+# ----------------------------------------------------------------------
+@given(placements_strategy())
+@settings(max_examples=60, deadline=None)
+def test_timestamp_graph_invariants(placements):
+    graph = ShareGraph(placements)
+    graphs = all_timestamp_graphs(graph)
+    for r in graph.replicas:
+        g = graphs[r]
+        # E_i is a subset of the share graph edges.
+        assert g.edges <= graph.edges
+        # All incident edges are present, in both directions.
+        for n in graph.neighbors(r):
+            assert (r, n) in g.edges and (n, r) in g.edges
+        # Loop edges never touch the anchor.
+        for (u, v) in g.loop_edges:
+            assert r not in (u, v)
+
+
+@given(placements_strategy())
+@settings(max_examples=40, deadline=None)
+def test_loop_edges_have_valid_witnesses(placements):
+    from repro.core.loops import LoopFinder, is_i_ejk_loop
+
+    graph = ShareGraph(placements)
+    finder = LoopFinder(graph)
+    for r in graph.replicas:
+        for e in finder.loop_edges(r):
+            witness = finder.witness(r, e)
+            assert witness is not None
+            assert witness.edge == e
+            assert is_i_ejk_loop(graph, witness)
+
+
+@given(placements_strategy(), st.integers(min_value=3, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_bounded_graphs_are_subsets(placements, cap):
+    graph = ShareGraph(placements)
+    for r in graph.replicas:
+        capped = timestamp_graph(graph, r, max_loop_len=cap)
+        exact = timestamp_graph(graph, r)
+        assert capped.edges <= exact.edges
+
+
+# ----------------------------------------------------------------------
+# Protocol-level properties
+# ----------------------------------------------------------------------
+@given(
+    placements_strategy(max_replicas=5, max_registers=6),
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=10, max_value=80),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_runs_are_causally_consistent(placements, seed, writes):
+    from repro.network.delays import UniformDelay
+
+    system = DSMSystem(
+        placements, seed=seed, delay_model=UniformDelay(0.1, 10.0)
+    )
+    stream = uniform_writes(system.graph, writes, seed=seed ^ 0xABCDEF)
+    run_workload(system, stream)
+    assert system.quiescent()
+    result = system.check()
+    assert result.ok, str(result)
+
+
+@given(
+    placements_strategy(max_replicas=4, max_registers=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_happened_before_is_a_strict_partial_order(placements, seed):
+    system = DSMSystem(placements, seed=seed)
+    stream = uniform_writes(system.graph, 40, seed=seed + 1)
+    run_workload(system, stream)
+    h = system.history
+    updates = h.all_updates()
+    for a in updates:
+        assert not h.happened_before(a, a)  # irreflexive
+    for a in updates[:15]:
+        for b in updates[:15]:
+            if h.happened_before(a, b):
+                assert not h.happened_before(b, a)  # antisymmetric
+            for c in updates[:15]:
+                if h.happened_before(a, b) and h.happened_before(b, c):
+                    assert h.happened_before(a, c)  # transitive
+
+
+@given(
+    placements_strategy(max_replicas=4, max_registers=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_merge_is_monotone_and_idempotent(placements, seed):
+    """Protocol algebra: timestamps only grow, and merging a timestamp
+    with itself is a no-op."""
+    import random
+
+    graph = ShareGraph(placements)
+    rng = random.Random(seed)
+    replicas = list(graph.replicas)
+    r = rng.choice(replicas)
+    policy = EdgeIndexedPolicy(graph, r)
+    ts = policy.initial()
+    for _ in range(10):
+        register = rng.choice(sorted(graph.registers_at(r)))
+        advanced = policy.advance(ts, register)
+        assert advanced.dominates(ts)
+        ts = advanced
+    assert policy.merge(ts, r, ts) == ts
+
+
+# ----------------------------------------------------------------------
+# Compression
+# ----------------------------------------------------------------------
+@given(
+    placements_strategy(max_replicas=5, max_registers=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_compression_roundtrip_on_reachable_timestamps(placements, seed):
+    system = DSMSystem(placements, seed=seed)
+    stream = uniform_writes(system.graph, 40, seed=seed + 2)
+    run_workload(system, stream)
+    for rid, replica in system.replicas.items():
+        codec = CompressedCodec(system.graph, rid, replica.policy.edges)
+        ts = replica.timestamp
+        assert codec.decompress(codec.compress(ts)) == ts
+        assert codec.compressed_length() <= codec.raw_length()
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=3, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_row_basis_spans_all_rows(matrix):
+    basis_idx = linalg.row_basis_indices(matrix)
+    assert linalg.rank(matrix) == len(basis_idx)
+    basis_rows = [matrix[b] for b in basis_idx]
+    for row in matrix:
+        coeffs = linalg.express_row(basis_rows, row)
+        assert coeffs is not None
+        rebuilt = [
+            sum(c * b[col] for c, b in zip(coeffs, basis_rows))
+            for col in range(3)
+        ]
+        assert rebuilt == [Fraction(v) for v in row]

@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    seen = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.schedule(7.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5, 7.25]
+    assert sim.now == 7.25
+
+
+def test_schedule_during_execution():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, lambda: seen.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "edge")
+    sim.run(until=5.0)
+    assert seen == ["edge"]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    seen = []
+    for n in range(10):
+        sim.schedule(float(n), seen.append, n)
+    sim.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_cancellation():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_seeded_rng_reproducible():
+    a = Simulator(seed=42)
+    b = Simulator(seed=42)
+    assert [a.rng.random() for _ in range(5)] == [
+        b.rng.random() for _ in range(5)
+    ]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for n in range(3):
+        sim.schedule(float(n), lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_drained():
+    sim = Simulator()
+    assert sim.drained()
+    handle = sim.schedule(1.0, lambda: None)
+    assert not sim.drained()
+    handle.cancel()
+    assert sim.drained()
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()

@@ -1,0 +1,78 @@
+"""Tests for the space-time diagram tools."""
+
+from __future__ import annotations
+
+from repro import DSMSystem
+from repro.network.delays import FixedDelay
+from repro.tools.spacetime import causal_arrows, spacetime_diagram
+from repro.workloads import fig3_placements
+
+
+def driven_system():
+    system = DSMSystem(fig3_placements(), seed=1, delay_model=FixedDelay(1.0))
+    system.schedule_write(0.0, 1, "x", "a")
+    system.schedule_write(5.0, 2, "y", "b")
+    system.run()
+    return system
+
+
+def test_diagram_structure():
+    system = driven_system()
+    diagram = spacetime_diagram(system.history)
+    lines = diagram.splitlines()
+    assert lines[0].split() == ["time", "1", "2", "3"]
+    body = lines[2:]
+    assert any("W u(1,1)" in line for line in body)
+    assert any("A u(1,1)" in line for line in body)
+    # One marker per row, rest are dots.
+    for line in body:
+        markers = [c for c in line.split("  ") if c.strip() and c.strip() != "."]
+        assert len(markers) == 2  # time column + exactly one event
+
+
+def test_diagram_replica_filter_and_limit():
+    system = driven_system()
+    only = spacetime_diagram(system.history, replicas=[2])
+    assert only.splitlines()[0].split() == ["time", "2"]
+    limited = spacetime_diagram(system.history, max_events=1)
+    assert len(limited.splitlines()) == 3  # header + rule + 1 row
+
+
+def test_diagram_includes_client_access():
+    from repro.core.causality import History
+
+    h = History()
+    h.record_issue(1, __import__("repro").UpdateId(1, 1), "x", 0.0)
+    h.record_client_access("c", 1, 1.0)
+    diagram = spacetime_diagram(h)
+    assert "C c" in diagram
+
+
+def test_causal_arrows_roots_and_deps():
+    system = driven_system()
+    text = causal_arrows(system.history)
+    lines = text.splitlines()
+    assert lines[0].endswith("(root)")
+    # The y-write by 2 causally follows the x-write (x in X_2, applied).
+    assert "u(2,1)" in lines[1]
+    assert "u(1,1)" in lines[1]
+
+
+def test_causal_arrows_covering_relation():
+    """Transitively implied dependencies are suppressed."""
+    system = DSMSystem(fig3_placements(), seed=2, delay_model=FixedDelay(1.0))
+    system.schedule_write(0.0, 1, "x", 1)
+    system.schedule_write(5.0, 2, "x", 2)
+    system.schedule_write(10.0, 2, "y", 3)
+    system.run()
+    text = causal_arrows(system.history)
+    last = text.splitlines()[-1]
+    # u(2,2) depends on u(2,1) directly; u(1,1) is implied transitively
+    # and must not be listed.
+    assert "u(2,1)" in last
+    assert "u(1,1)" not in last
+
+
+def test_causal_arrows_limit():
+    system = driven_system()
+    assert len(causal_arrows(system.history, max_updates=1).splitlines()) == 1

@@ -1,0 +1,70 @@
+"""Tests for update-stability analysis."""
+
+from __future__ import annotations
+
+from repro import DSMSystem, ShareGraph
+from repro.analysis import stability_report
+from repro.network.delays import FixedDelay, UniformDelay
+from repro.workloads import (
+    clique_placements,
+    fig5_placements,
+    line_placements,
+    run_workload,
+    uniform_writes,
+)
+
+
+def test_private_register_is_instantly_stable():
+    system = DSMSystem(fig5_placements(), seed=1)
+    system.client(1).write("a", 1)  # private to replica 1
+    system.run()
+    report = stability_report(system.history, system.graph)
+    assert report.count == 1
+    assert report.mean == 0.0
+    assert report.unstable == 0
+
+
+def test_shared_register_stability_equals_last_apply():
+    system = DSMSystem(fig5_placements(), seed=2, delay_model=FixedDelay(3.0))
+    system.client(2).write("y", "v")  # shared with 1 and 4
+    system.run()
+    report = stability_report(system.history, system.graph)
+    assert report.count == 1
+    assert report.mean == 3.0  # both deliveries land at exactly t+3
+
+
+def test_unstable_counted_mid_run():
+    system = DSMSystem(fig5_placements(), seed=3, delay_model=FixedDelay(100.0))
+    system.client(2).write("y", "v")
+    system.run(until=1.0)
+    report = stability_report(system.history, system.graph)
+    assert report.count == 0
+    assert report.unstable == 1
+
+
+def test_partial_beats_full_replication_on_stability():
+    """Partial replication stabilizes faster: fewer replicas must ack."""
+
+    def mean_latency(placements, seed):
+        system = DSMSystem(
+            placements, seed=seed, delay_model=UniformDelay(1.0, 10.0)
+        )
+        stream = uniform_writes(system.graph, 150, seed=seed + 1)
+        run_workload(system, stream)
+        assert system.check().ok
+        return stability_report(system.history, system.graph).mean
+
+    partial = mean_latency(line_placements(6), seed=4)
+    full = mean_latency(clique_placements(6), seed=4)
+    assert partial < full
+
+
+def test_report_statistics():
+    system = DSMSystem(fig5_placements(), seed=5, delay_model=UniformDelay(0.5, 5.0))
+    stream = uniform_writes(system.graph, 100, seed=6)
+    run_workload(system, stream)
+    report = stability_report(system.history, system.graph)
+    assert report.count + report.unstable == 100
+    assert report.unstable == 0
+    assert 0 <= report.percentile(0.5) <= report.percentile(0.9) <= report.max
+    assert "stability" in str(report)

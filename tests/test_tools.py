@@ -1,0 +1,150 @@
+"""Tests for trace and DOT tools."""
+
+from __future__ import annotations
+
+from repro import DSMSystem, ShareGraph, timestamp_graph
+from repro.network.delays import FixedDelay, PerEdgeDelay
+from repro.tools import (
+    explain_dependency,
+    format_timeline,
+    share_graph_dot,
+    timestamp_graph_dot,
+)
+from repro.tools.trace import pending_report
+from repro.workloads import fig3_placements, fig5_placements
+
+
+def driven_system():
+    system = DSMSystem(fig5_placements(), seed=1, delay_model=FixedDelay(1.0))
+    system.schedule_write(0.0, 3, "x", "a")
+    system.schedule_write(5.0, 2, "y", "b")
+    system.schedule_write(10.0, 1, "w", "c")
+    system.run()
+    return system
+
+
+# ----------------------------------------------------------------------
+# Timeline
+# ----------------------------------------------------------------------
+def test_timeline_contains_all_events():
+    system = driven_system()
+    text = format_timeline(system.history)
+    assert text.count("issue") == 3
+    assert "u(3,1)" in text and "'x'" in text
+
+
+def test_timeline_replica_filter_and_limit():
+    system = driven_system()
+    only_two = format_timeline(system.history, replicas=[2])
+    assert all("  issue  u(3" not in line for line in only_two.splitlines())
+    limited = format_timeline(system.history, limit=1)
+    assert len(limited.splitlines()) == 1
+
+
+def test_timeline_renders_access_events():
+    from repro.core.causality import History
+
+    h = History()
+    h.record_client_access("c", 1, 2.0)
+    assert "access" in format_timeline(h)
+
+
+# ----------------------------------------------------------------------
+# Dependency explanation
+# ----------------------------------------------------------------------
+def test_explain_direct_dependency():
+    system = driven_system()
+    uids = system.history.all_updates()
+    u_x, u_y = uids[0], uids[1]
+    assert system.history.happened_before(u_x, u_y)
+    chain = explain_dependency(system.history, u_x, u_y)
+    assert chain[0] == u_x and chain[-1] == u_y
+
+
+def test_explain_transitive_dependency():
+    system = driven_system()
+    u_x, _, u_w = system.history.all_updates()
+    chain = explain_dependency(system.history, u_x, u_w)
+    assert chain is not None
+    assert len(chain) >= 2
+    for a, b in zip(chain, chain[1:]):
+        assert system.history.happened_before(a, b)
+
+
+def test_explain_returns_none_for_concurrent():
+    system = DSMSystem(fig3_placements(), seed=2)
+    u1 = system.client(1).write("x", 1)
+    u2 = system.client(4).write("z", 2)
+    system.run()
+    assert explain_dependency(system.history, u1, u2) is None
+    assert explain_dependency(system.history, u1, u1) is None
+
+
+# ----------------------------------------------------------------------
+# Pending report
+# ----------------------------------------------------------------------
+def test_pending_report_quiescent():
+    system = driven_system()
+    assert pending_report(system) == "nothing pending"
+
+
+def test_pending_report_shows_gap():
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+
+    class Scripted:
+        def __init__(self):
+            self.delays = [100.0, 1.0]
+
+        def sample(self, src, dst, rng):
+            return self.delays.pop(0) if self.delays else 1.0
+
+    system = DSMSystem(graph, seed=3, delay_model=Scripted())
+    system.schedule_write(0.0, 1, "x", "first")
+    system.schedule_write(0.5, 1, "x", "second")
+    system.run(until=10.0)
+    report = pending_report(system)
+    assert "pending" in report
+    assert "gap on (1, 2)" in report
+
+
+# ----------------------------------------------------------------------
+# DOT export
+# ----------------------------------------------------------------------
+def test_share_graph_dot():
+    graph = ShareGraph(fig3_placements())
+    dot = share_graph_dot(graph)
+    assert dot.startswith("graph share_graph {")
+    assert dot.count("--") == 3  # undirected edges once each
+    assert '"2" -- "3" [label="y"]' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_timestamp_graph_dot():
+    graph = ShareGraph(fig5_placements())
+    tg = timestamp_graph(graph, 1)
+    dot = timestamp_graph_dot(graph, tg)
+    assert "digraph" in dot
+    assert '"4" -> "3" [style=dashed];' in dot  # the famous loop edge
+    assert '"1" -> "2";' in dot  # incident edge, solid
+    assert "fillcolor=lightgray" in dot
+
+
+def test_pending_report_shows_third_party_wait():
+    """A buffered update waiting on a different sender's counter."""
+    from repro.network.delays import PerEdgeDelay
+    from repro.workloads import fig5_placements as _fig5
+
+    delay = PerEdgeDelay({(4, 3): FixedDelay(1000.0)}, default=FixedDelay(1.0))
+    system = DSMSystem(_fig5(), seed=9, delay_model=delay)
+    # The fig5 loop chain: 4 writes z (message to 3 stalled), then w to
+    # replica 1; 1 writes y; 2 writes x.  Replica 3 buffers the x-update,
+    # which carries e(4,3)=1 while 3 still has 0.
+    system.schedule_write(0.0, 4, "z", "u0")
+    system.schedule_write(0.5, 4, "w", "u1")
+    system.schedule_write(5.0, 1, "y", "u2")
+    system.schedule_write(10.0, 2, "x", "u3")
+    system.run(until=100.0)
+    report = pending_report(system)
+    assert "waiting on (4, 3)" in report
+    system.run()
+    assert pending_report(system) == "nothing pending"

@@ -1,0 +1,156 @@
+"""Tests for Saturn-style tree-restricted communication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ShareGraph
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError
+from repro.lowerbound import is_tree
+from repro.optimizations.tree_overlay import (
+    TreeOverlaySystem,
+    restrict_to_tree,
+)
+from repro.workloads import grid_placements, ring_placements
+
+
+@pytest.fixture
+def ring6():
+    return ShareGraph(ring_placements(6))
+
+
+def star_tree(n):
+    """A star rooted at replica 1 (not share-graph edges in a ring!)."""
+    return [(1, i) for i in range(2, n + 1)]
+
+
+def path_tree(n):
+    return [(i, i + 1) for i in range(1, n)]
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+def test_plan_yields_tree_share_graph(ring6):
+    plan = restrict_to_tree(ring6, path_tree(6))
+    broken = plan.share_graph()
+    assert is_tree(broken)
+    # Only the ring-closing register 1-6 needed re-routing.
+    assert set(plan.rerouted) == {"s1_6"}
+
+
+def test_star_tree_reroutes_most_edges(ring6):
+    plan = restrict_to_tree(ring6, star_tree(6))
+    # Ring edges not incident to 1: 2-3, 3-4, 4-5, 5-6 -> rerouted.
+    assert set(plan.rerouted) == {"s2_3", "s3_4", "s4_5", "s5_6"}
+    assert is_tree(plan.share_graph())
+
+
+def test_tree_metadata_bound(ring6):
+    plan = restrict_to_tree(ring6, star_tree(6))
+    graphs = all_timestamp_graphs(plan.share_graph())
+    # Leaves track 2, the hub tracks 2*5.
+    assert len(graphs[2].edges) == 2
+    assert len(graphs[1].edges) == 10
+    # Versus 12 everywhere on the original ring.
+    original = all_timestamp_graphs(ring6)
+    assert all(len(original[r].edges) == 12 for r in ring6.replicas)
+
+
+def test_plan_validation(ring6):
+    with pytest.raises(ConfigurationError):
+        restrict_to_tree(ring6, path_tree(6)[:-1])  # too few edges
+    with pytest.raises(ConfigurationError):
+        restrict_to_tree(ring6, [(1, 2), (1, 2), (3, 4), (4, 5), (5, 6)])
+    with pytest.raises(ConfigurationError):
+        restrict_to_tree(ring6, path_tree(5) + [(9, 1)])  # unknown replica
+    # Non-spanning: a cycle among 1..5 plus nothing reaching 6.
+    with pytest.raises(ConfigurationError):
+        restrict_to_tree(
+            ring6, [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]
+        )
+
+
+def test_multiholder_register_needs_connected_subtree():
+    placements = {1: {"g"}, 2: {"g"}, 3: {"g"}, 4: {"z", "g"}}
+    graph = ShareGraph(placements)
+    # Tree 1-2, 2-3, 3-4: holders of g = {1,2,3,4} are connected: OK.
+    plan = restrict_to_tree(graph, [(1, 2), (2, 3), (3, 4)])
+    assert plan.rerouted == {}
+    # Tree 1-3, 3-2, 2-4 also spans; holders still connected: OK.
+    restrict_to_tree(graph, [(1, 3), (3, 2), (2, 4)])
+    # But a register held by two non-adjacent replicas among >2 holders
+    # that are NOT subtree-connected must be rejected.
+    placements2 = {1: {"g"}, 2: {"x"}, 3: {"g"}, 4: {"g"}}
+    graph2 = ShareGraph(placements2)
+    with pytest.raises(ConfigurationError):
+        restrict_to_tree(graph2, [(1, 2), (2, 3), (3, 4)])
+
+
+# ----------------------------------------------------------------------
+# End-to-end overlay runs
+# ----------------------------------------------------------------------
+def test_rerouted_value_arrives(ring6):
+    plan = restrict_to_tree(ring6, star_tree(6))
+    system = TreeOverlaySystem(plan, seed=1)
+    system.write(3, "s3_4", "via-hub")
+    system.run()
+    assert system.read(4, "s3_4") == "via-hub"
+    assert system.check().ok
+    # Star routing: 3 -> 1 -> 4 is exactly 2 hops.
+    assert system.delivery_hops["s3_4"] == [2]
+
+
+def test_direct_registers_unaffected(ring6):
+    plan = restrict_to_tree(ring6, star_tree(6))
+    system = TreeOverlaySystem(plan, seed=2)
+    system.write(1, "s1_2", "direct")
+    system.run()
+    assert system.read(2, "s1_2") == "direct"
+
+
+def test_bidirectional_rerouting(ring6):
+    plan = restrict_to_tree(ring6, path_tree(6))
+    system = TreeOverlaySystem(plan, seed=3)
+    system.write(1, "s1_6", "down")
+    system.run()
+    assert system.read(6, "s1_6") == "down"
+    system.write(6, "s1_6", "up")
+    system.run()
+    assert system.read(1, "s1_6") == "up"
+    assert system.delivery_hops["s1_6"] == [5, 5]
+    assert system.check().ok
+
+
+def test_overlay_run_consistent_under_load(ring6):
+    from repro.workloads import uniform_writes
+
+    plan = restrict_to_tree(ring6, star_tree(6))
+    system = TreeOverlaySystem(plan, seed=4)
+    stream = uniform_writes(
+        ring6, 150, seed=5,
+        writable={r: ring6.registers_at(r) for r in ring6.replicas},
+    )
+    for op in stream:
+        system.system.simulator.schedule_at(
+            op.time, system.write, op.replica, op.register, op.value
+        )
+    system.run()
+    result = system.check()
+    assert result.ok, str(result)
+
+
+def test_grid_to_tree(ring6):
+    """A 3x3 grid restricted to a row-major spanning tree."""
+    graph = ShareGraph(grid_placements(3, 3))
+    tree = [(1, 2), (2, 3), (1, 4), (4, 7), (4, 5), (5, 6), (7, 8), (8, 9)]
+    plan = restrict_to_tree(graph, tree)
+    assert is_tree(plan.share_graph())
+    system = TreeOverlaySystem(plan, seed=6)
+    # A rerouted grid edge, e.g. 2-5 (not in the tree).
+    assert "s2_5" in plan.rerouted
+    system.write(2, "s2_5", 42)
+    system.run()
+    assert system.read(5, "s2_5") == 42
+    assert system.check().ok

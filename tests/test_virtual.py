@@ -1,0 +1,105 @@
+"""Tests for virtual registers / ring breaking (Appendix D, Figure 13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ShareGraph
+from repro.core.timestamp_graph import timestamp_graph
+from repro.errors import ConfigurationError
+from repro.lowerbound import is_tree
+from repro.optimizations import break_ring_edge
+from repro.optimizations.virtual import VirtualRouteSystem
+from repro.workloads import ring_placements
+
+
+@pytest.fixture
+def ring6():
+    return ShareGraph(ring_placements(6))
+
+
+@pytest.fixture
+def plan(ring6):
+    return break_ring_edge(ring6, 6, 1, [6, 5, 4, 3, 2, 1])
+
+
+def test_plan_breaks_the_edge(ring6, plan):
+    broken = plan.share_graph()
+    assert ring6.is_edge(1, 6)
+    # 1 and 6 are no longer share-graph neighbours via the logical
+    # register; only the path remains (plus virtuals along it).
+    assert plan.logical not in broken.registers
+    assert f"{plan.logical}@1" in broken.registers_at(1)
+    assert f"{plan.logical}@6" in broken.registers_at(6)
+
+
+def test_broken_graph_has_tree_metadata(ring6, plan):
+    """The headline: cycle timestamps (2n) collapse to tree timestamps."""
+    before = len(timestamp_graph(ring6, 3).edges)
+    after = len(timestamp_graph(plan.share_graph(), 3).edges)
+    assert before == 12
+    assert after == 4  # 2 * N_i on the path
+
+
+def test_plan_validation(ring6):
+    with pytest.raises(ConfigurationError):
+        break_ring_edge(ring6, 1, 3, [1, 2, 3])  # 1-3 not an edge
+    with pytest.raises(ConfigurationError):
+        break_ring_edge(ring6, 6, 1, [6, 1])  # no intermediate hop
+    with pytest.raises(ConfigurationError):
+        break_ring_edge(ring6, 6, 1, [6, 5, 1])  # 5-1 not an edge
+    with pytest.raises(ConfigurationError):
+        break_ring_edge(ring6, 6, 1, [6, 5, 5, 1])  # not simple
+
+
+def test_shared_register_must_be_private_to_endpoints():
+    graph = ShareGraph({1: {"x", "a"}, 2: {"a", "b"}, 3: {"b", "x"}, 4: {"x", "a"}})
+    with pytest.raises(ConfigurationError):
+        break_ring_edge(graph, 1, 3, [1, 2, 3])
+
+
+def test_value_propagates_forward(plan):
+    system = VirtualRouteSystem(plan, seed=61)
+    system.write(6, plan.logical, "payload-fwd")
+    system.run()
+    assert system.read(1, plan.logical) == "payload-fwd"
+    assert system.check().ok
+
+
+def test_value_propagates_backward(plan):
+    system = VirtualRouteSystem(plan, seed=62)
+    system.write(1, plan.logical, "payload-bwd")
+    system.run()
+    assert system.read(6, plan.logical) == "payload-bwd"
+    assert system.check().ok
+
+
+def test_other_registers_unaffected(plan):
+    system = VirtualRouteSystem(plan, seed=63)
+    system.write(2, "s2_3", "direct")
+    system.run()
+    assert system.read(3, "s2_3") == "direct"
+
+
+def test_sequence_of_rerouted_writes_arrives_in_order(plan):
+    system = VirtualRouteSystem(plan, seed=64)
+    for n in range(10):
+        system.system.simulator.schedule_at(
+            float(n), system.write, 6, plan.logical, n
+        )
+    system.run()
+    assert system.read(1, plan.logical) == 9
+    assert system.check().ok
+
+
+def test_delivery_latency_recorded(plan):
+    system = VirtualRouteSystem(plan, seed=65)
+    system.write(6, plan.logical, "timed")
+    system.run()
+    delays = system.delivery_times[plan.logical]
+    assert len(delays) == 1
+    assert delays[0] > 0
+
+
+def test_path_hops(plan):
+    assert plan.path_hops == 5

@@ -1,0 +1,146 @@
+"""Tests for the wire format (varints, timestamps, update messages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeIndexedPolicy, ShareGraph, Timestamp
+from repro.errors import ProtocolError
+from repro.types import Update, UpdateId
+from repro.wire import (
+    decode_timestamp,
+    decode_update,
+    decode_uvarint,
+    encode_timestamp,
+    encode_update,
+    encode_uvarint,
+    timestamp_wire_bytes,
+)
+from repro.wire.codec import canonical_edge_order
+from repro.wire.varint import uvarint_size
+from repro.workloads import fig5_placements
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value,size",
+    [(0, 1), (1, 1), (127, 1), (128, 2), (16383, 2), (16384, 3), (2**35, 6)],
+)
+def test_varint_sizes(value, size):
+    encoded = encode_uvarint(value)
+    assert len(encoded) == size
+    assert uvarint_size(value) == size
+    decoded, offset = decode_uvarint(encoded)
+    assert (decoded, offset) == (value, size)
+
+
+@given(st.integers(min_value=0, max_value=2**62))
+@settings(max_examples=200, deadline=None)
+def test_varint_roundtrip(value):
+    decoded, offset = decode_uvarint(encode_uvarint(value))
+    assert decoded == value
+
+
+def test_varint_rejects_negative_and_truncated():
+    with pytest.raises(ProtocolError):
+        encode_uvarint(-1)
+    with pytest.raises(ProtocolError):
+        decode_uvarint(b"\x80")  # continuation bit with no next byte
+
+
+# ----------------------------------------------------------------------
+# Timestamps
+# ----------------------------------------------------------------------
+def test_timestamp_roundtrip():
+    ts = Timestamp({(1, 2): 0, (2, 1): 300, (3, 1): 7})
+    order = canonical_edge_order(ts.index)
+    encoded = encode_timestamp(ts)
+    decoded, offset = decode_timestamp(encoded, order)
+    assert decoded == ts
+    assert offset == len(encoded)
+    assert timestamp_wire_bytes(ts) == len(encoded)
+
+
+def test_timestamp_order_mismatch_detected():
+    ts = Timestamp({(1, 2): 1})
+    encoded = encode_timestamp(ts)
+    with pytest.raises(ProtocolError):
+        decode_timestamp(encoded, [(1, 2), (2, 1)])
+
+
+def test_fresh_timestamp_is_one_byte_per_counter():
+    ts = Timestamp.zeros([(1, 2), (2, 1), (3, 1)])
+    assert timestamp_wire_bytes(ts) == 1 + 3
+
+
+def test_wire_bytes_grow_with_counters():
+    small = Timestamp({(1, 2): 5})
+    large = Timestamp({(1, 2): 10_000})
+    assert timestamp_wire_bytes(large) > timestamp_wire_bytes(small)
+
+
+# ----------------------------------------------------------------------
+# Updates
+# ----------------------------------------------------------------------
+def test_update_roundtrip():
+    graph = ShareGraph(fig5_placements())
+    policy = EdgeIndexedPolicy(graph, 1)
+    ts = policy.advance(policy.initial(), "y")
+    update = Update(UpdateId(1, 3), "y", "hello", ts)
+    order = canonical_edge_order(policy.edges)
+    encoded = encode_update(update, order)
+    decoded = decode_update(encoded, 1, order)
+    assert decoded == update
+
+
+def test_metadata_only_update_roundtrip():
+    ts = Timestamp({(1, 2): 4})
+    update = Update(UpdateId(1, 1), "x", None, ts, metadata_only=True)
+    order = canonical_edge_order(ts.index)
+    decoded = decode_update(encode_update(update, order), 1, order)
+    assert decoded.metadata_only
+    assert decoded.value is None
+
+
+@pytest.mark.parametrize("value", [None, 0, 42, "text", b"\x00\xff"])
+def test_value_types_roundtrip(value):
+    ts = Timestamp({(1, 2): 1})
+    order = canonical_edge_order(ts.index)
+    update = Update(UpdateId(1, 1), "x", value, ts)
+    assert decode_update(encode_update(update, order), 1, order).value == value
+
+
+def test_unsupported_value_rejected():
+    ts = Timestamp({(1, 2): 1})
+    update = Update(UpdateId(1, 1), "x", object(), ts)
+    with pytest.raises(ProtocolError):
+        encode_update(update)
+
+
+def test_trailing_bytes_rejected():
+    ts = Timestamp({(1, 2): 1})
+    order = canonical_edge_order(ts.index)
+    encoded = encode_update(Update(UpdateId(1, 1), "x", 1, ts), order)
+    with pytest.raises(ProtocolError):
+        decode_update(encoded + b"\x00", 1, order)
+
+
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(1, 9), st.integers(1, 9)),
+        st.integers(min_value=0, max_value=10**9),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_timestamp_roundtrip_property(counters):
+    ts = Timestamp(counters)
+    order = canonical_edge_order(ts.index)
+    decoded, _ = decode_timestamp(encode_timestamp(ts, order), order)
+    assert decoded == ts

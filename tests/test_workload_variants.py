@@ -1,0 +1,90 @@
+"""Tests for the Zipf and bursty workload generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import DSMSystem, ShareGraph
+from repro.errors import ConfigurationError
+from repro.network.delays import UniformDelay
+from repro.workloads import (
+    bursty_writes,
+    fig5_placements,
+    ring_placements,
+    run_workload,
+    zipf_writes,
+)
+
+
+@pytest.fixture
+def graph():
+    return ShareGraph(fig5_placements())
+
+
+# ----------------------------------------------------------------------
+# Zipf
+# ----------------------------------------------------------------------
+def test_zipf_writers_hold_their_registers(graph):
+    stream = zipf_writes(graph, 200, seed=1)
+    assert len(stream) == 200
+    for op in stream:
+        assert op.register in graph.registers_at(op.replica)
+
+
+def test_zipf_is_actually_skewed(graph):
+    stream = zipf_writes(graph, 2000, skew=1.5, seed=2)
+    counts = Counter(op.register for op in stream)
+    ranked = sorted(graph.registers, key=lambda v: (str(type(v)), repr(v)))
+    # The top-ranked register dominates the bottom-ranked one.
+    assert counts[ranked[0]] > 4 * max(counts[ranked[-1]], 1)
+
+
+def test_zipf_deterministic(graph):
+    assert zipf_writes(graph, 50, seed=3) == zipf_writes(graph, 50, seed=3)
+
+
+def test_zipf_validation(graph):
+    with pytest.raises(ConfigurationError):
+        zipf_writes(graph, 10, skew=0)
+    with pytest.raises(ConfigurationError):
+        zipf_writes(graph, 10, rate=0)
+
+
+def test_zipf_run_consistent(graph):
+    system = DSMSystem(graph, seed=4, delay_model=UniformDelay(0.2, 8.0))
+    run_workload(system, zipf_writes(graph, 250, seed=5))
+    assert system.quiescent()
+    assert system.check().ok
+
+
+# ----------------------------------------------------------------------
+# Bursty
+# ----------------------------------------------------------------------
+def test_bursty_shape(graph):
+    stream = bursty_writes(graph, bursts=4, burst_size=8, gap=100.0, seed=6)
+    assert len(stream) == 32
+    times = [op.time for op in stream]
+    assert times == sorted(times)
+    # Each burst fits within one time unit of its start.
+    for op in stream:
+        burst_index = int(op.time // 100.0)
+        assert op.time - burst_index * 100.0 <= 1.0
+
+
+def test_bursty_validation(graph):
+    with pytest.raises(ConfigurationError):
+        bursty_writes(graph, bursts=1, burst_size=0)
+    with pytest.raises(ConfigurationError):
+        bursty_writes(graph, bursts=1, gap=0)
+
+
+def test_bursty_run_consistent():
+    graph = ShareGraph(ring_placements(6))
+    system = DSMSystem(graph, seed=7, delay_model=UniformDelay(0.5, 30.0))
+    run_workload(system, bursty_writes(graph, bursts=6, burst_size=12, seed=8))
+    assert system.quiescent()
+    assert system.check().ok
+    # Bursts under slow delivery must actually stress the buffers.
+    assert system.metrics().pending_high_water >= 2

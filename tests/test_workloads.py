@@ -1,0 +1,178 @@
+"""Tests for topology and operation generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ShareGraph
+from repro.errors import ConfigurationError
+from repro.lowerbound import is_clique, is_cycle, is_tree
+from repro.workloads import (
+    OperationStream,
+    WriteOp,
+    clique_placements,
+    cycle_placements,
+    fig3_placements,
+    fig5_placements,
+    grid_placements,
+    line_placements,
+    random_placements,
+    ring_placements,
+    star_placements,
+    tree_placements,
+    uniform_writes,
+)
+
+
+def test_fig3_matches_paper():
+    assert fig3_placements() == {
+        1: {"x"},
+        2: {"x", "y"},
+        3: {"y", "z"},
+        4: {"z"},
+    }
+
+
+def test_fig5_matches_paper():
+    p = fig5_placements()
+    assert p[1] == {"a", "y", "w"}
+    assert p[4] == {"d", "y", "z", "w"}
+
+
+def test_line_is_tree():
+    graph = ShareGraph(line_placements(6))
+    assert is_tree(graph)
+    assert graph.degree(1) == 1
+    assert graph.degree(3) == 2
+
+
+def test_ring_is_cycle():
+    for n in (3, 5, 8):
+        assert is_cycle(ShareGraph(ring_placements(n)))
+
+
+def test_cycle_alias():
+    assert cycle_placements(4) == ring_placements(4)
+
+
+def test_ring_validation():
+    with pytest.raises(ConfigurationError):
+        ring_placements(2)
+
+
+def test_clique_is_full_replication():
+    graph = ShareGraph(clique_placements(5, registers=2))
+    assert graph.is_full_replication()
+    assert is_clique(graph)
+
+
+def test_star_shape():
+    graph = ShareGraph(star_placements(5))
+    assert graph.degree(1) == 4
+    assert all(graph.degree(i) == 1 for i in range(2, 6))
+    assert is_tree(graph)
+
+
+def test_tree_placements_is_tree():
+    for seed in range(4):
+        graph = ShareGraph(tree_placements(10, branching=3, seed=seed))
+        assert is_tree(graph)
+
+
+def test_tree_branching_respected():
+    graph = ShareGraph(tree_placements(10, branching=1, seed=0))
+    # branching=1 forces a path.
+    assert max(graph.degree(r) for r in graph.replicas) <= 2
+
+
+def test_grid_shape():
+    graph = ShareGraph(grid_placements(3, 3))
+    assert len(graph) == 9
+    # Corner, edge, centre degrees.
+    assert graph.degree(1) == 2
+    assert graph.degree(2) == 3
+    assert graph.degree(5) == 4
+
+
+def test_grid_validation():
+    with pytest.raises(ConfigurationError):
+        grid_placements(0, 3)
+
+
+def test_random_placements_replication_factor():
+    placements = random_placements(8, 10, 3, seed=1)
+    graph = ShareGraph(placements)
+    for m in range(10):
+        assert len(graph.replicas_storing(f"x{m}")) == 3
+
+
+def test_random_placements_validation():
+    with pytest.raises(ConfigurationError):
+        random_placements(4, 5, 9)
+
+
+def test_random_placements_deterministic():
+    assert random_placements(6, 8, 2, seed=5) == random_placements(
+        6, 8, 2, seed=5
+    )
+    assert random_placements(6, 8, 2, seed=5) != random_placements(
+        6, 8, 2, seed=6
+    )
+
+
+def test_every_generator_gives_nonempty_registers():
+    for placements in (
+        line_placements(4),
+        ring_placements(4),
+        star_placements(4),
+        grid_placements(2, 2),
+        tree_placements(4, seed=0),
+        random_placements(4, 4, 2, seed=0),
+    ):
+        assert all(regs for regs in placements.values())
+
+
+# ----------------------------------------------------------------------
+# Operation streams
+# ----------------------------------------------------------------------
+def test_uniform_writes_shape():
+    graph = ShareGraph(fig5_placements())
+    stream = uniform_writes(graph, 50, seed=3)
+    assert len(stream) == 50
+    times = [op.time for op in stream]
+    assert times == sorted(times)
+    for op in stream:
+        assert op.register in graph.registers_at(op.replica)
+
+
+def test_uniform_writes_deterministic():
+    graph = ShareGraph(fig5_placements())
+    a = uniform_writes(graph, 30, seed=4)
+    b = uniform_writes(graph, 30, seed=4)
+    assert a == b
+
+
+def test_uniform_writes_respects_writable_restriction():
+    graph = ShareGraph(fig5_placements())
+    writable = {1: {"a"}, 2: {"b"}, 3: {"c"}, 4: {"d"}}
+    stream = uniform_writes(graph, 40, seed=5, writable=writable)
+    for op in stream:
+        assert op.register in writable[op.replica]
+
+
+def test_uniform_writes_validation():
+    graph = ShareGraph(fig5_placements())
+    with pytest.raises(ConfigurationError):
+        uniform_writes(graph, 10, rate=0)
+    with pytest.raises(ConfigurationError):
+        uniform_writes(graph, 10, writable={r: set() for r in graph.replicas})
+
+
+def test_stream_duration():
+    empty = OperationStream(())
+    assert empty.duration == 0.0
+    stream = OperationStream(
+        (WriteOp(1.0, 1, "x", 0), WriteOp(4.0, 1, "x", 1))
+    )
+    assert stream.duration == 4.0
+    assert "w(1,x" in str(stream.ops[0])
