@@ -53,8 +53,17 @@ from repro.errors import (
     ConsistencyViolation,
     ProtocolError,
     ReproError,
+    RetryExhaustedError,
+    TransportError,
+    UnknownDestinationError,
     UnknownRegisterError,
     UnknownReplicaError,
+)
+from repro.network.faults import (
+    ChannelFaults,
+    FaultPlan,
+    FaultyNetwork,
+    ReliableNetwork,
 )
 from repro.types import Edge, Update, UpdateId
 
@@ -80,8 +89,15 @@ __all__ = [
     "ConsistencyViolation",
     "ProtocolError",
     "ReproError",
+    "RetryExhaustedError",
+    "TransportError",
+    "UnknownDestinationError",
     "UnknownRegisterError",
     "UnknownReplicaError",
+    "ChannelFaults",
+    "FaultPlan",
+    "FaultyNetwork",
+    "ReliableNetwork",
     "Edge",
     "Update",
     "UpdateId",

@@ -177,8 +177,18 @@ def check_history(
         if event.kind == "access":
             # Client-server session safety: the client's causal past,
             # restricted to registers of X_rep, must be applied at rep.
+            # An event with a serve-time token (lossy channels: the access
+            # is logged when the client accepts the travelled response) is
+            # judged against the replica state that produced the response,
+            # not the replica's state at acceptance time.
             mask = client_mask.get(event.client, 0)
-            missing_mask = mask & relevant.get(rep, 0) & ~applied.get(rep, 0)
+            if event.token is not None:
+                applied_at_serve = event.token.applied
+                growth = event.token.closure
+            else:
+                applied_at_serve = applied.get(rep, 0)
+                growth = closure.get(rep, 0)
+            missing_mask = mask & relevant.get(rep, 0) & ~applied_at_serve
             if missing_mask and len(result.session) < max_violations:
                 for missing_uid in _mask_updates(history, missing_mask):
                     result.session.append(
@@ -188,7 +198,7 @@ def check_history(
                     )
                     if len(result.session) >= max_violations:
                         break
-            client_mask[event.client] = mask | closure.get(rep, 0)
+            client_mask[event.client] = mask | growth
             continue
         uid = event.uid
         missing_mask = (

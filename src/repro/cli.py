@@ -6,6 +6,7 @@ Commands
 ``run``          run a workload on a topology and verify it
 ``experiments``  regenerate paper experiment tables (E1..E14)
 ``race``         run the Theorem 8 adversarial race on a witness edge
+``chaos``        sweep a fault-injection campaign (loss/dup/crash) over seeds
 """
 
 from __future__ import annotations
@@ -140,6 +141,26 @@ def cmd_race(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import ChaosSpec, run_chaos_campaign
+
+    graph = _build_graph(args)
+    spec = ChaosSpec(
+        placements=graph,
+        loss=args.loss,
+        duplication=args.dup,
+        writes=args.writes,
+        horizon=args.horizon,
+        crash_count=args.crashes,
+        checkpoints=args.checkpoints,
+    )
+    report = run_chaos_campaign(
+        spec, seeds=range(args.seed, args.seed + args.seeds)
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     from repro.modelcheck import ModelChecker
 
@@ -203,6 +224,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_topology_args(p_race)
     p_race.add_argument("--replica", default=None, help="anchor replica")
     p_race.set_defaults(func=cmd_race)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection campaign: loss, duplication, crashes"
+    )
+    add_topology_args(p_chaos)
+    p_chaos.add_argument("--loss", type=float, default=0.2)
+    p_chaos.add_argument("--dup", type=float, default=0.1)
+    p_chaos.add_argument("--writes", type=int, default=30)
+    p_chaos.add_argument("--horizon", type=float, default=300.0)
+    p_chaos.add_argument("--crashes", type=int, default=2)
+    p_chaos.add_argument("--checkpoints", type=int, default=4)
+    p_chaos.add_argument("--seeds", type=int, default=20, help="trial count")
+    p_chaos.add_argument("--seed", type=int, default=0, help="first seed")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_mc = sub.add_parser(
         "modelcheck", help="exhaustively explore all interleavings"

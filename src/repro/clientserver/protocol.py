@@ -36,24 +36,41 @@ from repro.clientserver.augmented import (
     ClientAssignment,
     all_augmented_timestamp_graphs,
 )
-from repro.core.causality import History
+from repro.core.causality import AccessToken, History
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import Timestamp
-from repro.errors import ConfigurationError, ProtocolError, UnknownRegisterError
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    RetryExhaustedError,
+    UnknownRegisterError,
+)
 from repro.network.delays import DelayModel
+from repro.network.faults import FaultPlan, ReliableNetwork
 from repro.network.transport import Network
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import EventHandle, Simulator
 from repro.types import ClientId, Edge, RegisterName, ReplicaId, Update, UpdateId
 
 
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
+# ``request_id`` is a per-client monotone sequence number: replicas use it
+# to deduplicate retried requests (timeout-driven retransmissions execute
+# at most once per replica), and clients use the echoed id to discard
+# stale or duplicate responses.
+#
+# ``access_token`` on responses is ground-truth instrumentation, not
+# protocol state: the serving replica's history snapshot
+# (:meth:`repro.core.causality.History.access_token`), replayed into the
+# history only when the client accepts the response, so the checker sees
+# the client's causal past grow by exactly what the response conveyed.
 @dataclass(frozen=True)
 class ReadRequest:
     client: ClientId
     register: RegisterName
     timestamp: Timestamp
+    request_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,7 @@ class WriteRequest:
     register: RegisterName
     value: Any
     timestamp: Timestamp
+    request_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,6 +87,8 @@ class ReadResponse:
     register: RegisterName
     value: Any
     timestamp: Timestamp
+    request_id: int = 0
+    access_token: Optional[AccessToken] = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +96,8 @@ class WriteResponse:
     register: RegisterName
     uid: UpdateId
     timestamp: Timestamp
+    request_id: int = 0
+    access_token: Optional[AccessToken] = None
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +128,9 @@ class CSReplica:
         self.pending_updates: List[Tuple[ReplicaId, Update]] = []
         self.buffered_requests: List[Tuple[ClientId, Any]] = []
         self._seq = 0
+        # Session dedup: clients are sequential, so one cache slot per
+        # client suffices: (last served request_id, cached response).
+        self._served: Dict[ClientId, Tuple[int, Any]] = {}
         self._incoming: Tuple[Edge, ...] = tuple(
             sorted(
                 ((n, replica_id) for n in graph.neighbors(replica_id)),
@@ -205,17 +230,30 @@ class CSReplica:
 
     def _serve(self, client: ClientId, request: Any) -> None:
         now = self.network.simulator.now
+        served = self._served.get(client)
+        if served is not None:
+            last_id, cached_response = served
+            if request.request_id == last_id:
+                # Retried request whose first copy we already executed:
+                # resend the cached response without re-executing.
+                self._respond(client, cached_response)
+                return
+            if request.request_id < last_id:
+                # Stale duplicate of an older request; the client has
+                # moved on and will discard any response -- drop it.
+                return
         if isinstance(request, ReadRequest):
             if request.register not in self.store:
                 raise UnknownRegisterError(request.register, self.replica_id)
-            if self.history is not None:
-                self.history.record_client_access(client, self.replica_id, now)
-            self.network.send(
-                self.replica_id,
-                client,
-                ReadResponse(request.register, self.store[request.register], self.timestamp),
-                metadata_counters=len(self.timestamp),
+            response: Any = ReadResponse(
+                request.register,
+                self.store[request.register],
+                self.timestamp,
+                request_id=request.request_id,
+                access_token=self._token(),
             )
+            self._served[client] = (request.request_id, response)
+            self._respond(client, response)
             return
         # WriteRequest
         if request.register not in self.store:
@@ -235,13 +273,25 @@ class CSReplica:
                 Update(uid, request.register, request.value, self.timestamp),
                 metadata_counters=len(self.timestamp),
             )
-        if self.history is not None:
-            self.history.record_client_access(client, self.replica_id, now)
+        response = WriteResponse(
+            request.register, uid, self.timestamp,
+            request_id=request.request_id,
+            access_token=self._token(),
+        )
+        self._served[client] = (request.request_id, response)
+        self._respond(client, response)
+
+    def _token(self) -> Optional[AccessToken]:
+        if self.history is None:
+            return None
+        return self.history.access_token(self.replica_id)
+
+    def _respond(self, client: ClientId, response: Any) -> None:
         self.network.send(
             self.replica_id,
             client,
-            WriteResponse(request.register, uid, self.timestamp),
-            metadata_counters=len(self.timestamp),
+            response,
+            metadata_counters=len(response.timestamp),
         )
 
     def __repr__(self) -> str:
@@ -266,6 +316,18 @@ class CompletedOp:
     uid: Optional[UpdateId] = None
 
 
+@dataclass
+class _OutstandingOp:
+    """The client's single in-flight operation (clients are sequential)."""
+
+    kind: str  # "read" | "write"
+    register: RegisterName
+    value: Any
+    request_id: int
+    replica: ReplicaId
+    attempts: int = 1
+
+
 class CSClient:
     """A sequential client bound to the replica set ``R_c``."""
 
@@ -283,24 +345,46 @@ class CSClient:
         assignment: ClientAssignment,
         edges: FrozenSet[Edge],
         network: Network,
+        history: Optional[History] = None,
         think_time: float = 0.0,
         selection: str = "random",
+        timeout: Optional[float] = None,
+        max_retries: int = 8,
+        retry_backoff: float = 2.0,
     ) -> None:
         if selection not in self.SELECTION_STRATEGIES:
             raise ConfigurationError(
                 f"unknown selection strategy {selection!r}; choose from "
                 f"{self.SELECTION_STRATEGIES}"
             )
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        if retry_backoff < 1.0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 1, got {retry_backoff}"
+            )
         self.client_id = client_id
         self.graph = graph
         self.replica_set = assignment.replicas_of(client_id)
         self.timestamp = Timestamp.zeros(edges)
         self.network = network
+        self.history = history
         self.think_time = think_time
         self.selection = selection
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.queue: List[Tuple[str, RegisterName, Any]] = []
         self.completed: List[CompletedOp] = []
-        self._outstanding: Optional[Tuple[str, RegisterName, ReplicaId]] = None
+        self.retries = 0
+        self.failovers = 0
+        self._outstanding: Optional[_OutstandingOp] = None
+        self._timer: Optional[EventHandle] = None
+        self._request_id = 0
         self._rr_counter = 0
         network.register(client_id, self.on_message)
 
@@ -334,31 +418,87 @@ class CSClient:
         if self._outstanding is not None or not self.queue:
             return
         kind, register, value = self.queue.pop(0)
+        self._request_id += 1
+        self._outstanding = _OutstandingOp(
+            kind, register, value, self._request_id, self._select(register)
+        )
+        self._transmit()
+
+    def _select(self, register: RegisterName) -> ReplicaId:
         candidates = self._candidates(register)
         if self.selection == "sticky":
-            replica = candidates[0]
-        elif self.selection == "round-robin":
+            return candidates[0]
+        if self.selection == "round-robin":
             replica = candidates[self._rr_counter % len(candidates)]
             self._rr_counter += 1
-        else:
-            replica = self.network.simulator.rng.choice(candidates)
-        self._outstanding = (kind, register, replica)
-        if kind == "read":
-            message: Any = ReadRequest(self.client_id, register, self.timestamp)
+            return replica
+        return self.network.simulator.rng.choice(candidates)
+
+    def _transmit(self) -> None:
+        op = self._outstanding
+        assert op is not None
+        if op.kind == "read":
+            message: Any = ReadRequest(
+                self.client_id, op.register, self.timestamp,
+                request_id=op.request_id,
+            )
         else:
             message = WriteRequest(
-                self.client_id, register, value, self.timestamp
+                self.client_id, op.register, op.value, self.timestamp,
+                request_id=op.request_id,
             )
         self.network.send(
-            self.client_id, replica, message,
+            self.client_id, op.replica, message,
             metadata_counters=len(self.timestamp),
         )
+        if self.timeout is not None:
+            delay = self.timeout * self.retry_backoff ** (op.attempts - 1)
+            self._timer = self.network.simulator.schedule(
+                delay, self._on_timeout, op.request_id
+            )
+
+    def _on_timeout(self, request_id: int) -> None:
+        op = self._outstanding
+        if op is None or op.request_id != request_id:
+            return  # the response arrived; this timer is stale
+        if op.attempts > self.max_retries:
+            raise RetryExhaustedError(
+                f"client {self.client_id!r} {op.kind}({op.register!r}) "
+                f"to replica {op.replica!r}",
+                op.attempts,
+            )
+        op.attempts += 1
+        self.retries += 1
+        if op.kind == "read":
+            # Reads are idempotent, so fail over to the next candidate
+            # replica.  Writes retry against the same replica: its dedup
+            # cache makes the retry exactly-once, whereas a different
+            # replica would execute the write a second time.
+            candidates = self._candidates(op.register)
+            next_replica = candidates[
+                (candidates.index(op.replica) + 1) % len(candidates)
+            ]
+            if next_replica != op.replica:
+                self.failovers += 1
+                op.replica = next_replica
+        self._transmit()
 
     def on_message(self, src: ReplicaId, message: Any) -> None:
-        if self._outstanding is None:  # pragma: no cover - wiring guard
-            raise ProtocolError("response without outstanding request")
-        kind, register, replica = self._outstanding
+        op = self._outstanding
+        if op is None or message.request_id != op.request_id:
+            if self.timeout is None:  # pragma: no cover - wiring guard
+                raise ProtocolError("response without outstanding request")
+            # Duplicate response, or a late response to a request we have
+            # already completed via a retry -- the merge already happened.
+            return
+        kind, register = op.kind, op.register
+        # A late response may come from an earlier attempt's replica, so
+        # attribute the completion to the actual sender.
+        replica = src
         self._outstanding = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         now = self.network.simulator.now
         # merge1 = merge2: element-wise max over the replica's index.
         counters = {
@@ -368,6 +508,13 @@ class CSClient:
             for e in self.timestamp.index
         }
         self.timestamp = Timestamp(counters)
+        if self.history is not None:
+            # The access is logged at acceptance, against the replica's
+            # serve-time snapshot: the client's causal past grows by
+            # exactly what this response's timestamp conveyed.
+            self.history.record_client_access(
+                self.client_id, replica, now, token=message.access_token
+            )
         if isinstance(message, ReadResponse):
             self.completed.append(
                 CompletedOp("read", register, message.value, replica, now)
@@ -406,6 +553,10 @@ class ClientServerSystem:
         max_loop_len: Optional[int] = None,
         think_time: float = 0.0,
         selection: str = "random",
+        fault_plan: Optional[FaultPlan] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 8,
+        retry_backoff: float = 2.0,
     ) -> None:
         self.graph = (
             placements
@@ -414,7 +565,26 @@ class ClientServerSystem:
         )
         self.assignment = ClientAssignment(self.graph, clients)
         self.simulator = Simulator(seed=seed)
-        self.network = Network(self.simulator, delay_model=delay_model)
+        if fault_plan is not None:
+            if not fault_plan.trivial and timeout is None:
+                raise ConfigurationError(
+                    "a fault plan with loss or duplication requires a client "
+                    "timeout, otherwise dropped requests stall forever"
+                )
+            # Split recovery responsibilities: replica-to-replica updates
+            # ride the ARQ layer (a lost Update would stall dependent
+            # sessions at every candidate replica), while client traffic
+            # stays raw -- the session layer (request ids, timeouts,
+            # retries, failover) is its end-to-end recovery mechanism.
+            self.network: Network = ReliableNetwork(
+                self.simulator,
+                delay_model=delay_model,
+                plan=fault_plan,
+                ack_policy="on_receipt",
+                raw_nodes=self.assignment.clients,
+            )
+        else:
+            self.network = Network(self.simulator, delay_model=delay_model)
         self.history = History()
         graphs = all_augmented_timestamp_graphs(
             self.graph, self.assignment, max_loop_len=max_loop_len
@@ -442,8 +612,12 @@ class ClientServerSystem:
                 self.assignment,
                 frozenset(edges),
                 self.network,
+                history=self.history,
                 think_time=think_time,
                 selection=selection,
+                timeout=timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
             )
 
     def client(self, client_id: ClientId) -> CSClient:

@@ -43,13 +43,35 @@ class UpdateRecord:
 
 
 @dataclass(frozen=True)
+class AccessToken:
+    """Snapshot of a replica's state at the moment it served a client.
+
+    Under unreliable channels a response may reach its client long after
+    it was produced (retries, duplicates) -- or never.  The serving
+    replica snapshots a token and the access is recorded only when the
+    client *accepts* the response, against the serve-time state: the
+    client's causal past grows by exactly what the response's timestamp
+    conveyed, no more.
+
+    ``applied`` is the bitmask of updates applied at the replica;
+    ``closure`` additionally includes their causal pasts.
+    """
+
+    applied: int
+    closure: int
+
+
+@dataclass(frozen=True)
 class HistoryEvent:
     """One issue/apply/access occurrence, in global log order.
 
     ``access`` events (client-server architecture, Definition 25) carry a
     ``client`` and no ``uid``: they mark a client's read/write completing
     at a replica, which propagates that replica's causal past to the
-    client.
+    client.  When the completion is recorded later than the serve (lossy
+    channels: the client accepts a possibly-retransmitted response), the
+    event carries the serve-time :class:`AccessToken` so the checker
+    judges the access against the state that actually produced it.
     """
 
     kind: str  # "issue" | "apply" | "access"
@@ -58,6 +80,7 @@ class HistoryEvent:
     time: float
     position: int  # global sequence number in record order
     client: Optional[object] = None
+    token: Optional[AccessToken] = None
 
 
 class History:
@@ -70,6 +93,7 @@ class History:
         self._uid_order: List[UpdateId] = []
         self._past_mask: Dict[UpdateId, int] = {}
         self._applied_mask: Dict[ReplicaId, int] = {}
+        self._applied_bits: Dict[ReplicaId, int] = {}
         self._applied_at: Dict[UpdateId, Set[ReplicaId]] = {}
         self._client_mask: Dict[object, int] = {}
 
@@ -114,24 +138,46 @@ class History:
         # Issuing applies the update at the issuer (prototype step 2).
         self._mark_applied(replica, uid)
 
+    def access_token(self, replica: ReplicaId) -> AccessToken:
+        """Snapshot *replica*'s state for a deferred client-access record.
+
+        Taken when a replica serves a request; passed back to
+        :meth:`record_client_access` when the client accepts the response
+        (possibly much later under lossy channels).
+        """
+        return AccessToken(
+            applied=self._applied_bits.get(replica, 0),
+            closure=self._applied_mask.get(replica, 0),
+        )
+
     def record_client_access(
-        self, client: object, replica: ReplicaId, time: float
+        self,
+        client: object,
+        replica: ReplicaId,
+        time: float,
+        token: Optional[AccessToken] = None,
     ) -> None:
         """Record client *client* completing an operation at *replica*.
 
         The client's causal past grows by the replica's: any update the
         client later issues (anywhere) will causally depend on everything
         applied at this replica so far (Definition 25, condition (ii)).
+        With ``token``, the access is judged and the past grown against
+        the replica's serve-time snapshot rather than its current state
+        (the response travelled; the replica may have moved on).
         """
         self._append(
             HistoryEvent(
-                "access", replica, None, time, len(self.events), client=client
+                "access", replica, None, time, len(self.events),
+                client=client, token=token,
             )
         )
-        self._client_mask[client] = (
-            self._client_mask.get(client, 0)
-            | self._applied_mask.get(replica, 0)
+        growth = (
+            token.closure
+            if token is not None
+            else self._applied_mask.get(replica, 0)
         )
+        self._client_mask[client] = self._client_mask.get(client, 0) | growth
 
     def client_causal_past(self, client: object) -> FrozenSet[UpdateId]:
         """All updates in the client's accumulated causal past."""
@@ -152,6 +198,9 @@ class History:
     def _mark_applied(self, replica: ReplicaId, uid: UpdateId) -> None:
         grow = self._past_mask[uid] | self._bit[uid]
         self._applied_mask[replica] = self._applied_mask.get(replica, 0) | grow
+        self._applied_bits[replica] = (
+            self._applied_bits.get(replica, 0) | self._bit[uid]
+        )
         self._applied_at.setdefault(uid, set()).add(replica)
 
     # ------------------------------------------------------------------

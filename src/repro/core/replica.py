@@ -150,7 +150,12 @@ class Replica:
         )
         self._dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {}
         self._paused = False
+        self._crashed = False
         self._value_merge = value_merge
+        # Reliable transports expose crash/recovery and durable-apply
+        # confirmation; on the plain (always reliable) Network these hooks
+        # simply do not exist.
+        self._confirm_applied = getattr(network, "confirm_applied", None)
         network.register(replica_id, self.on_message)
 
     # ------------------------------------------------------------------
@@ -158,6 +163,7 @@ class Replica:
     # ------------------------------------------------------------------
     def read(self, register: RegisterName) -> Any:
         """Step 1: return the local copy of ``register``."""
+        self._require_up()
         if register not in self.store:
             raise UnknownRegisterError(register, self.replica_id)
         return self.store[register]
@@ -171,6 +177,7 @@ class Replica:
         virtual-register mechanism of Appendix D); it is delivered to the
         ``on_apply`` hook at each receiver.
         """
+        self._require_up()
         if register not in self.store:
             raise UnknownRegisterError(register, self.replica_id)
         self._seq += 1
@@ -227,6 +234,11 @@ class Replica:
         """Step 3: buffer the update, then step 4: drain what's ready."""
         if not isinstance(update, Update):  # pragma: no cover - wiring guard
             raise ProtocolError(f"unexpected message {update!r}")
+        if self._crashed:
+            # A crashed node receives nothing; a reliable transport never
+            # delivers here (it drops at the physical layer), this guards
+            # the plain-Network case.
+            return
         self.pending.append((src, update, self.network.simulator.now))
         self.metrics.pending_high_water = max(
             self.metrics.pending_high_water, len(self.pending)
@@ -272,6 +284,10 @@ class Replica:
         self.metrics.pending_wait_total += now - arrived
         if self.history is not None:
             self.history.record_apply(self.replica_id, update.uid, now)
+        if self._confirm_applied is not None:
+            # Applied state is synchronously durable (write-ahead): tell
+            # the reliable transport so it acks the segment.
+            self._confirm_applied(self.replica_id, src, update)
         if self.on_apply is not None:
             self.on_apply(self, src, update)
 
@@ -294,6 +310,71 @@ class Replica:
     @property
     def paused(self) -> bool:
         return self._paused
+
+    # ------------------------------------------------------------------
+    # Crash / recovery (fault model)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash: discard volatile state and stop participating.
+
+        Applied state (store, timestamp, write sequence) is synchronously
+        durable -- every local write and applied update is persisted
+        before it is acknowledged -- so the *volatile* state a crash
+        destroys is the ``pending`` buffer plus whatever was in flight to
+        this node.  The reliable transport rolls the corresponding channel
+        state back, so senders retransmit the lost deliveries after
+        recovery; see :mod:`repro.network.faults`.
+
+        Requires a transport with crash support (a
+        :class:`~repro.network.faults.ReliableNetwork`); on the plain
+        reliable Network a crash would silently lose messages, which the
+        paper's model forbids.
+        """
+        crash_hook = getattr(self.network, "crash", None)
+        if crash_hook is None:
+            raise ProtocolError(
+                f"replica {self.replica_id!r} cannot crash: the transport "
+                "has no crash support (use a ReliableNetwork)"
+            )
+        if self._crashed:
+            raise ProtocolError(f"replica {self.replica_id!r} is already down")
+        self._crashed = True
+        self.pending = []
+        crash_hook(self.replica_id)
+
+    def recover(self) -> None:
+        """Recover: resume from the last durable snapshot.
+
+        Because applied state is persisted write-ahead, the last durable
+        snapshot *is* the current store/timestamp/sequence -- recovery
+        only has to re-enable the node and let the reliable transport
+        re-sync the discarded ``pending`` entries via retransmission.
+        """
+        if not self._crashed:
+            raise ProtocolError(f"replica {self.replica_id!r} is not down")
+        self._crashed = False
+        self.network.recover(self.replica_id)
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def last_durable_snapshot(self) -> ReplicaSnapshot:
+        """The state recovery resumes from: everything but ``pending``."""
+        return ReplicaSnapshot(
+            replica_id=self.replica_id,
+            store=tuple(sorted(self.store.items(), key=lambda kv: str(kv[0]))),
+            timestamp=self.timestamp,
+            seq=self._seq,
+            pending=(),
+        )
+
+    def _require_up(self) -> None:
+        if self._crashed:
+            raise ProtocolError(
+                f"replica {self.replica_id!r} is down (crashed)"
+            )
 
     def snapshot(self) -> ReplicaSnapshot:
         """Capture all persistent state (for crash-recovery tests/tools)."""

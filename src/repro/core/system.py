@@ -40,6 +40,7 @@ from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
 from repro.core.timestamp_graph import all_timestamp_graphs
 from repro.errors import ConfigurationError
 from repro.network.delays import DelayModel
+from repro.network.faults import FaultPlan, ReliableNetwork
 from repro.network.transport import Network
 from repro.sim.kernel import Simulator
 from repro.types import RegisterName, ReplicaId, UpdateId
@@ -113,6 +114,13 @@ class DSMSystem:
         Bounded-loop variant for the default policy factory.
     track_timestamps:
         Collect distinct timestamps per replica (Definition 12 studies).
+    fault_plan:
+        When given, channels become unreliable under this seeded plan and
+        the system runs over a :class:`~repro.network.faults.ReliableNetwork`
+        (sequence numbers, acks, retransmission) so the paper's
+        reliable-channel abstraction is recovered rather than assumed.
+        Crash/recovery (:meth:`crash`, :meth:`recover`) also requires this
+        (a trivial plan works: the ARQ layer is then forced on).
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class DSMSystem:
         max_loop_len: Optional[int] = None,
         track_timestamps: bool = False,
         on_apply: Optional[ApplyHook] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.graph = (
             placements
@@ -132,7 +141,15 @@ class DSMSystem:
             else ShareGraph(placements)
         )
         self.simulator = Simulator(seed=seed)
-        self.network = Network(self.simulator, delay_model=delay_model)
+        if fault_plan is not None:
+            self.network: Network = ReliableNetwork(
+                self.simulator,
+                delay_model=delay_model,
+                plan=fault_plan,
+                always_on=True,
+            )
+        else:
+            self.network = Network(self.simulator, delay_model=delay_model)
         self.history = History()
         dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {
             r: frozenset(regs) for r, regs in (dummy_registers or {}).items()
@@ -205,10 +222,34 @@ class DSMSystem:
         self.simulator.run(until=until, max_events=max_events)
 
     def quiescent(self) -> bool:
-        """True when no message is in flight and no update is pending."""
-        return self.network.stats.in_flight == 0 and all(
-            r.pending_count == 0 for r in self.replicas.values()
+        """True when nothing is in flight, unacked, or pending."""
+        return (
+            self.network.stats.in_flight == 0
+            and getattr(self.network, "idle", True)
+            and all(r.pending_count == 0 for r in self.replicas.values())
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection (crash / recovery)
+    # ------------------------------------------------------------------
+    def crash(self, replica_id: ReplicaId) -> None:
+        """Crash a replica now (requires ``fault_plan``); see
+        :meth:`repro.core.replica.Replica.crash`."""
+        self.replica(replica_id).crash()
+
+    def recover(self, replica_id: ReplicaId) -> None:
+        """Recover a crashed replica now."""
+        self.replica(replica_id).recover()
+
+    def schedule_crash(self, time: float, replica_id: ReplicaId) -> None:
+        """Schedule a crash at absolute virtual time ``time``."""
+        replica = self.replica(replica_id)
+        self.simulator.schedule_at(time, replica.crash)
+
+    def schedule_recover(self, time: float, replica_id: ReplicaId) -> None:
+        """Schedule a recovery at absolute virtual time ``time``."""
+        replica = self.replica(replica_id)
+        self.simulator.schedule_at(time, replica.recover)
 
     # ------------------------------------------------------------------
     # Verification & metrics

@@ -38,6 +38,39 @@ class SimulationError(ReproError):
     """The simulation kernel was driven into an invalid state."""
 
 
+class TransportError(ReproError):
+    """The message layer could not (or refused to) move a message."""
+
+
+class UnknownDestinationError(TransportError, ConfigurationError):
+    """A message was sent to a node with no registered handler.
+
+    Derives from both :class:`TransportError` (it is a transport-level
+    condition, e.g. a reconfiguration race sending to a node that just
+    left) and :class:`ConfigurationError` (historically how this surfaced,
+    so existing ``except`` clauses keep working).  Dynamic reconfiguration
+    can catch :class:`TransportError` to distinguish delivery races from
+    genuine misconfiguration.
+    """
+
+    def __init__(self, destination: object) -> None:
+        super().__init__(f"no handler registered for {destination!r}")
+        self.destination = destination
+
+
+class RetryExhaustedError(TransportError):
+    """A retransmission/retry budget ran out before an ack or response.
+
+    Raised by the reliable-delivery layer when ``max_attempts`` is bounded,
+    and by client sessions whose request retries (including failover) all
+    timed out.
+    """
+
+    def __init__(self, what: str, attempts: int) -> None:
+        super().__init__(f"{what}: gave up after {attempts} attempts")
+        self.attempts = attempts
+
+
 class ProtocolError(ReproError):
     """A replica or client observed a protocol invariant violation."""
 

@@ -5,6 +5,15 @@ Each experiment of the E1-E14 index (see DESIGN.md) has a function in
 modules call these and print the rows the paper's figures/claims imply.
 """
 
+from repro.harness.chaos import (
+    CampaignReport,
+    ChaosSpec,
+    CrashEvent,
+    TrialResult,
+    derive_crashes,
+    run_chaos_campaign,
+    run_chaos_trial,
+)
 from repro.harness.report import Table
 from repro.harness.sweeps import (
     metadata_comparison,
@@ -12,4 +21,16 @@ from repro.harness.sweeps import (
     run_summary,
 )
 
-__all__ = ["Table", "metadata_comparison", "protocol_run", "run_summary"]
+__all__ = [
+    "CampaignReport",
+    "ChaosSpec",
+    "CrashEvent",
+    "Table",
+    "TrialResult",
+    "derive_crashes",
+    "metadata_comparison",
+    "protocol_run",
+    "run_chaos_campaign",
+    "run_chaos_trial",
+    "run_summary",
+]

@@ -1,0 +1,272 @@
+"""Chaos campaigns: seeded fault sweeps with safety/liveness assertions.
+
+A *trial* runs one workload on a :class:`~repro.core.system.DSMSystem`
+whose channels drop and duplicate messages under a seeded
+:class:`~repro.network.faults.FaultPlan`, with replica crash/recovery
+events injected mid-run.  The trial asserts the paper's guarantees under
+the weakened fault model:
+
+* **safety throughout** -- replica-centric causal consistency is checked
+  at evenly spaced checkpoints while faults are still active, and again
+  at the end;
+* **liveness after the fault horizon** -- once the plan stops injecting
+  faults and every crashed replica has recovered, the reliable-delivery
+  layer drains: the run quiesces and every update reaches every replica
+  that stores its register;
+* **conservation** -- the transport's physical/logical accounting
+  invariants hold (:meth:`NetworkStats.assert_consistent`).
+
+A *campaign* sweeps a trial across many seeds.  Everything is derived
+deterministically from the trial seed (fault decisions, crash schedule,
+workload), so any failure line like ``seed=17`` is replayable verbatim
+with :func:`run_chaos_trial`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import AbstractSet, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.share_graph import ShareGraph
+from repro.core.system import DSMSystem
+from repro.errors import ConfigurationError, ProtocolError
+from repro.network.faults import ChannelFaults, FaultPlan
+from repro.types import RegisterName, ReplicaId
+from repro.workloads.operations import uniform_writes
+
+
+# ----------------------------------------------------------------------
+# Specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashEvent:
+    """One crash/recovery pair for a replica."""
+
+    time: float
+    replica: ReplicaId
+    recover_at: float
+
+    def __post_init__(self) -> None:
+        if not self.time < self.recover_at:
+            raise ConfigurationError(
+                f"crash at {self.time} must recover strictly later, "
+                f"got {self.recover_at}"
+            )
+
+    def down_at(self, t: float) -> bool:
+        return self.time <= t < self.recover_at
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parameters of one chaos trial (everything except the seed).
+
+    ``crashes=None`` derives ``crash_count`` crash/recovery events per
+    trial from the trial seed; pass an explicit tuple for a fixed
+    schedule.  ``horizon`` is the fault horizon: loss/duplication stop
+    there, and derived crash windows are placed well inside it.
+    """
+
+    placements: Union[ShareGraph, Mapping[ReplicaId, AbstractSet[RegisterName]]]
+    loss: float = 0.2
+    duplication: float = 0.1
+    writes: int = 30
+    write_rate: float = 1.0
+    horizon: float = 300.0
+    crash_count: int = 2
+    crashes: Optional[Tuple[CrashEvent, ...]] = None
+    checkpoints: int = 4
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError("need horizon > 0")
+        if self.crash_count < 0 or self.checkpoints < 0:
+            raise ConfigurationError("need crash_count, checkpoints >= 0")
+
+    def graph(self) -> ShareGraph:
+        p = self.placements
+        return p if isinstance(p, ShareGraph) else ShareGraph(p)
+
+
+def derive_crashes(
+    graph: ShareGraph, count: int, horizon: float, seed: int
+) -> Tuple[CrashEvent, ...]:
+    """A deterministic crash schedule for one trial seed.
+
+    Crashes land in the middle of the fault window and every replica is
+    back up by ``0.9 * horizon``, so the post-horizon liveness assertion
+    is meaningful.  Windows of the same replica never overlap (a crashed
+    replica cannot crash again).
+    """
+    rng = random.Random(seed * 2654435761 + 42)
+    replicas = list(graph.replicas)
+    events: List[CrashEvent] = []
+    for _ in range(count):
+        for _attempt in range(50):
+            replica = rng.choice(replicas)
+            start = rng.uniform(0.2 * horizon, 0.6 * horizon)
+            outage = rng.uniform(0.05 * horizon, 0.25 * horizon)
+            candidate = CrashEvent(start, replica, min(start + outage, 0.9 * horizon))
+            overlap = any(
+                e.replica == replica
+                and e.time < candidate.recover_at
+                and candidate.time < e.recover_at
+                for e in events
+            )
+            if not overlap:
+                events.append(candidate)
+                break
+    return tuple(sorted(events, key=lambda e: e.time))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one seeded chaos trial."""
+
+    seed: int
+    failures: Tuple[str, ...]
+    writes_issued: int
+    writes_skipped: int  # scheduled at a replica that was down
+    crashes: Tuple[CrashEvent, ...]
+    checkpoints_checked: int
+    messages_dropped: int
+    duplicates_injected: int
+    retransmits: int
+    messages_delivered: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "FAIL " + "; ".join(self.failures)
+        return (
+            f"seed={self.seed}: {verdict} "
+            f"(writes={self.writes_issued}, crashes={len(self.crashes)}, "
+            f"dropped={self.messages_dropped}, dup={self.duplicates_injected}, "
+            f"retrans={self.retransmits})"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate of one chaos campaign."""
+
+    spec: ChaosSpec
+    trials: Tuple[TrialResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.trials)
+
+    @property
+    def failed_seeds(self) -> Tuple[int, ...]:
+        return tuple(t.seed for t in self.trials if not t.ok)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign: {len(self.trials)} trials, "
+            f"loss={self.spec.loss}, dup={self.spec.duplication}, "
+            f"crashes/trial={self.spec.crash_count}, "
+            f"horizon={self.spec.horizon}",
+        ]
+        lines.extend(f"  {t}" for t in self.trials)
+        if self.ok:
+            lines.append(f"all {len(self.trials)} trials passed")
+        else:
+            lines.append(f"FAILED seeds: {list(self.failed_seeds)}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
+    """Run one fully deterministic chaos trial.
+
+    The same ``(spec, seed)`` pair always produces the same trial: the
+    fault plan, crash schedule, workload, and delay sampling are all
+    seeded from it.
+    """
+    graph = spec.graph()
+    crashes = (
+        spec.crashes
+        if spec.crashes is not None
+        else derive_crashes(graph, spec.crash_count, spec.horizon, seed)
+    )
+    plan = FaultPlan(
+        seed=seed,
+        default=ChannelFaults(loss=spec.loss, duplication=spec.duplication),
+        horizon=spec.horizon,
+    )
+    system = DSMSystem(graph, seed=seed, fault_plan=plan)
+    stream = uniform_writes(
+        graph, spec.writes, rate=spec.write_rate, seed=seed + 1
+    )
+    issued = skipped = 0
+    for op in stream:
+        if any(c.replica == op.replica and c.down_at(op.time) for c in crashes):
+            skipped += 1  # a crashed replica serves no clients
+            continue
+        system.schedule_write(op.time, op.replica, op.register, op.value)
+        issued += 1
+    for crash in crashes:
+        system.schedule_crash(crash.time, crash.replica)
+        system.schedule_recover(crash.recover_at, crash.replica)
+
+    failures: List[str] = []
+    fault_end = max(
+        [spec.horizon] + [c.recover_at for c in crashes]
+    )
+    # Safety checkpoints while faults are still active.
+    checked = 0
+    for k in range(1, spec.checkpoints + 1):
+        at = fault_end * k / (spec.checkpoints + 1)
+        system.run(until=at)
+        mid = system.check(require_liveness=False)
+        checked += 1
+        if mid.safety or mid.session:
+            failures.append(
+                f"safety violated at checkpoint t={at:.1f}: "
+                f"{(mid.safety + mid.session)[0]}"
+            )
+            break
+    # Drain: after the horizon no faults are injected and every replica
+    # is up, so the ARQ layer must deliver everything.
+    system.run()
+    if not system.quiescent():
+        failures.append("did not quiesce after the fault horizon")
+    final = system.check(require_liveness=True)
+    if not final.ok:
+        first = (final.safety + final.session + final.liveness)[0]
+        failures.append(f"final check failed: {first}")
+    try:
+        system.network.stats.assert_consistent()
+    except ProtocolError as exc:
+        failures.append(f"stats inconsistent: {exc}")
+    stats = system.network.stats
+    return TrialResult(
+        seed=seed,
+        failures=tuple(failures),
+        writes_issued=issued,
+        writes_skipped=skipped,
+        crashes=crashes,
+        checkpoints_checked=checked,
+        messages_dropped=stats.messages_dropped,
+        duplicates_injected=stats.duplicates_injected,
+        retransmits=stats.retransmits,
+        messages_delivered=stats.messages_delivered,
+    )
+
+
+def run_chaos_campaign(
+    spec: ChaosSpec, seeds: Sequence[int] = tuple(range(20))
+) -> CampaignReport:
+    """Sweep :func:`run_chaos_trial` across ``seeds``."""
+    return CampaignReport(
+        spec=spec, trials=tuple(run_chaos_trial(spec, s) for s in seeds)
+    )

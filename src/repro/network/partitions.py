@@ -3,7 +3,8 @@
 Channels in the paper's model are reliable but arbitrarily slow, so a
 *partition* is just a period during which messages on some channels are
 held and released at heal time.  :class:`PartitionSchedule` wraps a base
-delay model: a message sent on a cut channel is delayed until the
+delay model: a message sent on a cut channel -- or sent just *before* the
+cut with a delivery that would land inside it -- is delayed until the
 partition heals (plus a fresh base delay); everything else is untouched.
 
 This is fault injection, not message loss -- liveness must still hold
@@ -36,6 +37,19 @@ class Partition:
 
     def cuts(self, src: ReplicaId, dst: ReplicaId, now: float) -> bool:
         return self.start <= now < self.end and (src, dst) in self.channels
+
+    def holds(
+        self, src: ReplicaId, dst: ReplicaId, sent: float, deliver: float
+    ) -> bool:
+        """True when a message sent at ``sent`` with nominal delivery time
+        ``deliver`` must be held by this episode: the channel is cut and
+        either the send or the delivery falls inside ``[start, end)``."""
+        if (src, dst) not in self.channels:
+            return False
+        return (
+            self.start <= sent < self.end
+            or self.start <= deliver < self.end
+        )
 
 
 def split_channels(
@@ -83,12 +97,30 @@ class PartitionSchedule:
             )
         now = self._simulator.now
         base_delay = self.base.sample(src, dst, rng)
-        for partition in self.partitions:
-            if partition.cuts(src, dst, now):
-                self.held_messages += 1
-                # Held until heal, then a fresh propagation delay.
-                return (partition.end - now) + base_delay
-        return base_delay
+        # A cut channel holds a message when its *send or its delivery*
+        # falls inside the episode -- a message sent just before the cut
+        # must not sail through mid-partition.  Held messages are released
+        # a fresh base delay after the heal; the sweep repeats because the
+        # release may land inside a later episode (each episode can hold a
+        # message at most once, so this terminates).
+        deliver_at = now + base_delay
+        send_checked = False
+        held = True
+        while held:
+            held = False
+            for partition in self.partitions:
+                if (src, dst) not in partition.channels:
+                    continue
+                cut_at_send = (
+                    not send_checked and partition.start <= now < partition.end
+                )
+                lands_inside = partition.start <= deliver_at < partition.end
+                if cut_at_send or lands_inside:
+                    self.held_messages += 1
+                    deliver_at = partition.end + base_delay
+                    held = True
+            send_checked = True
+        return deliver_at - now
 
     def __repr__(self) -> str:
         return (

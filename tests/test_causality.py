@@ -113,6 +113,20 @@ def test_client_access_propagates_dependencies():
     assert h.client_causal_past("c") == {u(1, 1)}
 
 
+def test_deferred_access_token_freezes_serve_time_state():
+    """Lossy channels: the client's past grows by the replica's state at
+    serve time (the token), not at the later acceptance time."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    token = h.access_token(1)  # the response leaves replica 1 here
+    h.record_issue(1, u(1, 2), "x", 1.0)  # replica moves on meanwhile
+    h.record_client_access("c", 1, 2.0, token=token)  # client accepts
+    assert h.client_causal_past("c") == {u(1, 1)}
+    h.record_issue(2, u(2, 1), "y", 3.0, client="c")
+    assert h.happened_before(u(1, 1), u(2, 1))
+    assert not h.happened_before(u(1, 2), u(2, 1))
+
+
 def test_client_without_access_propagates_nothing():
     h = History()
     h.record_issue(1, u(1, 1), "x", 0.0)

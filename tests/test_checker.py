@@ -118,6 +118,39 @@ def test_session_ok_when_replica_caught_up(chain_graph):
     assert check_history(h, chain_graph).ok
 
 
+def test_session_judged_against_serve_time_token(chain_graph):
+    """An access recorded late (lossy channels: the client accepts a
+    retransmitted response) is judged against the serve-time snapshot:
+    replica 2 catching up *after* serving does not excuse the stale
+    serve."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    h.record_client_access("c", 1, 1.0)
+    stale = h.access_token(2)  # replica 2 serves before applying u1
+    h.record_apply(2, u(1, 1), 2.0)
+    h.record_client_access("c", 2, 3.0, token=stale)  # accepted late
+    result = check_history(h, chain_graph)
+    assert len(result.session) == 1
+
+
+def test_token_limits_client_past_growth(chain_graph):
+    """The client's past grows by the serve-time closure only: updates
+    the replica applied after serving are not charged to the client."""
+    h = History()
+    h.record_issue(1, u(1, 1), "x", 0.0)
+    token = h.access_token(1)
+    h.record_issue(1, u(1, 2), "x", 1.0)  # after the serve
+    h.record_client_access("c", 1, 2.0, token=token)
+    # Client writes at replica 2, which never saw u(1, 2): fine, the
+    # client's past holds only u(1, 1).
+    h.record_apply(2, u(1, 1), 3.0)
+    h.record_client_access("c", 2, 4.0)
+    h.record_issue(2, u(2, 1), "y", 5.0, client="c")
+    h.record_apply(3, u(2, 1), 6.0)
+    h.record_apply(2, u(1, 2), 7.0)
+    assert check_history(h, chain_graph).ok
+
+
 def test_raise_on_violation(chain_graph):
     h = History()
     h.record_issue(1, u(1, 1), "x", 0.0)

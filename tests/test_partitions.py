@@ -55,6 +55,44 @@ def test_messages_held_until_heal():
     assert system.check().ok
 
 
+def test_message_sent_just_before_cut_is_held():
+    """Regression: a message sent moments before the partition starts,
+    whose delivery would land inside the episode, must not sail through
+    the cut -- it is held until the heal like any other cut message."""
+    graph = ShareGraph({1: {"x"}, 2: {"x"}})
+    schedule = PartitionSchedule(
+        [Partition(10.0, 100.0, split_channels({1}, {2}))],
+        base=FixedDelay(5.0),
+    )
+    system = DSMSystem(graph, seed=1, delay_model=schedule)
+    # Sent at t=8, nominal delivery t=13 -- inside [10, 100).
+    system.schedule_write(8.0, 1, "x", "almost")
+    system.run(until=50.0)
+    assert system.replica(2).read("x") is None  # held, not delivered
+    assert schedule.held_messages == 1
+    system.run()
+    assert system.replica(2).read("x") == "almost"
+    assert system.check().ok
+
+
+def test_delivery_landing_after_heal_sails_through():
+    """The complement: sent before the cut with a delivery landing after
+    the heal -- nothing to hold."""
+    schedule = PartitionSchedule(
+        [Partition(10.0, 12.0, frozenset({(1, 2)}))],
+        base=FixedDelay(5.0),
+    )
+    import random
+
+    class _Clock:
+        now = 8.0
+
+    schedule.bind(_Clock())
+    # Delivery at 13.0 >= 12.0: untouched.
+    assert schedule.sample(1, 2, random.Random(0)) == 5.0
+    assert schedule.held_messages == 0
+
+
 def test_consistency_through_partition_episodes():
     """Random workload over a ring with two partition episodes: safety
     always, liveness at quiescence."""
