@@ -40,6 +40,10 @@ class NoThirdPartyCheckPolicy(EdgeIndexedPolicy):
 class LaxSenderEdgePolicy(EdgeIndexedPolicy):
     """Predicate J with ``>=`` on the sender edge (gaps allowed)."""
 
+    # Without the exact gap check any queued update can fire, so the
+    # delivery engine must scan instead of seq-indexing sender queues.
+    exact_sender_fifo = False
+
     def ready(
         self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
     ) -> bool:

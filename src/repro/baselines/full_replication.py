@@ -74,6 +74,22 @@ class VectorClockPolicy:
             sender_ts[j] <= ts[j] for j in self._keys if j != sender
         )
 
+    def readiness_deps(self, sender: ReplicaId, sender_ts: Timestamp):
+        """The causal-multicast predicate reads every local counter
+        (including our own entry, which a local write advances)."""
+        return frozenset(self._keys)
+
+    # The predicate accepts only the sender's exact-next update
+    # (``T[sender] == tau[sender] + 1``), like the edge-indexed J.
+    exact_sender_fifo = True
+
+    def sender_seq(self, sender: ReplicaId, sender_ts: Timestamp):
+        return sender_ts.get(sender)
+
+    def next_seq(self, ts: Timestamp, sender: ReplicaId):
+        own = ts.get(sender)
+        return None if own is None else own + 1
+
     def counters(self) -> int:
         return len(self._keys)
 

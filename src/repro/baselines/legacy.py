@@ -1,0 +1,105 @@
+"""Reference (pre-engine) edge-indexed policy for differential testing.
+
+:class:`LegacyEdgeIndexedPolicy` is the original dictionary-walking
+implementation of the Section 3.3 algorithm, kept verbatim: ``advance``
+re-derives the bump set from the share graph on every write, ``merge``
+walks every edge of ``E_i`` through tolerant ``get`` reads, and ``J``
+re-resolves the sender edge each call.  It exercises none of the
+precomputed position plans of :class:`~repro.core.timestamp.EdgeIndexedPolicy`
+and exposes no :meth:`readiness_deps` hint, so a replica running it also
+falls back to the conservative wake-everything delivery path.
+
+The differential tests drive the same seeded trace through both policies
+and assert byte-identical histories, timestamps, and checker verdicts --
+the regression guard that the performance engine is a pure optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import Timestamp
+from repro.core.timestamp_graph import timestamp_graph
+from repro.errors import ConfigurationError
+from repro.types import Edge, RegisterName, ReplicaId
+
+
+class LegacyEdgeIndexedPolicy:
+    """The paper's algorithm via the original per-call dictionary walks."""
+
+    def __init__(
+        self,
+        graph: ShareGraph,
+        replica_id: ReplicaId,
+        edges=None,
+        max_loop_len: Optional[int] = None,
+    ) -> None:
+        if replica_id not in graph:
+            raise ConfigurationError(f"replica {replica_id!r} not in share graph")
+        self.graph = graph
+        self.replica_id = replica_id
+        if edges is None:
+            tg = timestamp_graph(graph, replica_id, max_loop_len=max_loop_len)
+            self.edges = tg.edges
+        else:
+            self.edges = frozenset(edges)
+        self._incoming = tuple(sorted(
+            ((n, replica_id) for n in graph.neighbors(replica_id)),
+            key=lambda e: (str(e[0]), str(e[1])),
+        ))
+
+    def initial(self) -> Timestamp:
+        return Timestamp.zeros(self.edges)
+
+    def advance(self, ts: Timestamp, register: RegisterName) -> Timestamp:
+        i = self.replica_id
+        changes: Dict[Edge, int] = {}
+        for e in self.edges:
+            j, k = e
+            if j == i and register in self.graph.shared(i, k):
+                changes[e] = ts[e] + 1
+        return ts.replace(changes)
+
+    def merge(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> Timestamp:
+        changes: Dict[Edge, int] = {}
+        for e in self.edges:
+            other = sender_ts.get(e)
+            if other is not None and other > ts[e]:
+                changes[e] = other
+        return ts.replace(changes)
+
+    def ready(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> bool:
+        i = self.replica_id
+        e_ki = (sender, i)
+        own = ts.get(e_ki)
+        incoming = sender_ts.get(e_ki)
+        if own is None or incoming is None:
+            pass
+        elif own != incoming - 1:
+            return False
+        for e in self._incoming:
+            if e[0] == sender:
+                continue
+            other = sender_ts.get(e)
+            if other is not None and ts[e] < other:
+                return False
+        return True
+
+    def counters(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"LegacyEdgeIndexedPolicy(replica={self.replica_id!r}, "
+            f"|E_i|={len(self.edges)})"
+        )
+
+
+def legacy_policy_factory(graph: ShareGraph, replica_id: ReplicaId):
+    """Drop-in ``policy_factory`` for :class:`~repro.core.system.DSMSystem`."""
+    return LegacyEdgeIndexedPolicy(graph, replica_id)

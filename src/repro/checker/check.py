@@ -145,12 +145,33 @@ def check_history(
     """
     result = CheckResult()
 
+    # One pass over the log builds a per-register update mask; each epoch's
+    # per-replica relevance is then an OR over the registers the replica
+    # stores, and replicas whose placement did not change across an epoch
+    # boundary reuse the previous epoch's mask outright.  (The naive form
+    # re-walked every update for every epoch graph.)
+    register_masks: Dict[object, int] = {}
+    for uid in history.all_updates():
+        record = history.updates[uid]
+        register_masks[record.register] = (
+            register_masks.get(record.register, 0) | history.bit_of(uid)
+        )
+    prev_registers: Dict[ReplicaId, object] = {}
+    prev_masks: Dict[ReplicaId, int] = {}
+
     def relevance_for(g: ShareGraph) -> Dict[ReplicaId, int]:
-        masks: Dict[ReplicaId, int] = {r: 0 for r in g.replicas}
-        for uid in history.all_updates():
-            record = history.updates[uid]
-            for r in g.replicas_storing(record.register):
-                masks[r] |= history.bit_of(uid)
+        masks: Dict[ReplicaId, int] = {}
+        for r in g.replicas:
+            registers = g.registers_at(r)
+            if prev_registers.get(r) == registers:
+                masks[r] = prev_masks[r]
+                continue
+            mask = 0
+            for x in registers:
+                mask |= register_masks.get(x, 0)
+            masks[r] = mask
+            prev_registers[r] = registers
+            prev_masks[r] = mask
         return masks
 
     relevant = relevance_for(graph)

@@ -7,6 +7,7 @@ Commands
 ``experiments``  regenerate paper experiment tables (E1..E14)
 ``race``         run the Theorem 8 adversarial race on a witness edge
 ``chaos``        sweep a fault-injection campaign (loss/dup/crash) over seeds
+``bench``        protocol throughput benchmarks (BENCH_protocol.json)
 """
 
 from __future__ import annotations
@@ -161,6 +162,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import bench
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    doc = bench.run_bench(
+        names=names,
+        quick=args.quick,
+        compare=args.compare,
+        repeats=args.repeats,
+    )
+    print(bench.render(doc))
+    if args.output:
+        bench.save(doc, args.output)
+        print(f"wrote {args.output}")
+    if args.check:
+        committed = bench.load(args.check)
+        report = bench.check_regression(
+            doc, committed, tolerance=args.tolerance
+        )
+        print(f"regression check vs {args.check} (tolerance {args.tolerance:.0%}):")
+        print("\n".join(report.lines))
+        if not report.ok:
+            for failure in report.failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     from repro.modelcheck import ModelChecker
 
@@ -238,6 +267,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--seeds", type=int, default=20, help="trial count")
     p_chaos.add_argument("--seed", type=int, default=0, help="first seed")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="protocol throughput benchmarks"
+    )
+    p_bench.add_argument(
+        "--scenarios", default=None, help="comma-separated names, e.g. dense-24"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="small write counts, for CI smoke"
+    )
+    p_bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the legacy pre-optimization policy for speedup ratios",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3, help="best-of-N")
+    p_bench.add_argument(
+        "--output", default=None, help="write JSON document here"
+    )
+    p_bench.add_argument(
+        "--check", default=None, help="committed JSON to gate regressions against"
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional ops/s drop vs the committed document",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_mc = sub.add_parser(
         "modelcheck", help="exhaustively explore all interleavings"

@@ -1,0 +1,70 @@
+"""Interned dense indexes for timestamp key sets.
+
+Every timestamp over the same key set (a replica's edge set ``E_i``, or
+replica ids for the vector-clock baseline) shares one :class:`EdgeIndex`:
+an immutable, canonical ordering of the keys plus a key -> position map.
+Interning makes the index a *identity-comparable* object, which is what
+turns timestamp operations into flat array arithmetic:
+
+* two timestamps with the same key set always carry the *same* index
+  object, so ``merge``/``dominates``/``__eq__`` can zip their value
+  tuples positionally instead of walking dictionaries;
+* policies can cache per-sender position plans keyed by the sender's
+  index object (senders keep one index for a whole run);
+* hashing reduces to ``hash((index.key_hash, values))``, which is stable
+  across dict- and array-constructed timestamps by construction.
+
+The intern table is keyed by ``frozenset(keys)`` and lives for the
+process: index sets are static per-policy configuration (a handful per
+system), not per-message data, so the table stays tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Tuple
+
+Key = Hashable
+
+
+def _canonical_key(key: Key) -> Tuple[str, str]:
+    """Deterministic ordering for heterogeneous hashable keys."""
+    return (str(type(key)), repr(key))
+
+
+class EdgeIndex:
+    """An interned, immutable ``key -> dense position`` mapping.
+
+    Construct via :meth:`of`; the constructor itself is private to the
+    intern table (two indexes over the same key set must be the same
+    object, otherwise the identity fast paths silently degrade).
+    """
+
+    __slots__ = ("keys", "order", "position", "key_hash")
+
+    _intern: Dict[FrozenSet[Key], "EdgeIndex"] = {}
+
+    def __init__(self, keys: FrozenSet[Key]) -> None:
+        self.keys: FrozenSet[Key] = keys
+        self.order: Tuple[Key, ...] = tuple(sorted(keys, key=_canonical_key))
+        self.position: Dict[Key, int] = {
+            key: pos for pos, key in enumerate(self.order)
+        }
+        self.key_hash: int = hash(keys)
+
+    @classmethod
+    def of(cls, keys: Iterable[Key]) -> "EdgeIndex":
+        """The interned index for ``keys`` (created on first use)."""
+        key_set = keys if isinstance(keys, frozenset) else frozenset(keys)
+        index = cls._intern.get(key_set)
+        if index is None:
+            index = cls._intern[key_set] = cls(key_set)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.position
+
+    def __repr__(self) -> str:
+        return f"EdgeIndex({len(self.order)} keys)"

@@ -15,6 +15,19 @@ Everything algorithm-specific (timestamp structure, ``advance``, ``merge``,
 ``J``) lives in the injected :class:`~repro.core.timestamp.TimestampPolicy`,
 matching the paper's "family of algorithms" framing.
 
+Delivery engine
+---------------
+Step 4 used to be a full rescan of one flat pending list after every
+apply -- O(pending^2) under load.  The buffer is now a FIFO queue per
+sender plus a *wake set*: a sender's queue is re-examined only when a
+local counter its predicate ``J`` actually reads has changed (the policy
+advertises those counters through the optional ``readiness_deps`` hook;
+policies without the hook fall back to conservative wake-everything,
+which reproduces the historical behaviour exactly).  Among all ready
+updates the engine still applies the globally earliest-arrived first, so
+apply order -- and therefore every recorded history -- is byte-identical
+to the original implementation.
+
 Dummy registers (Appendix D) are supported natively: a register in
 ``dummy_registers`` is tracked in the timestamp but has no stored copy; its
 updates arrive as metadata-only messages and never touch the store.
@@ -22,13 +35,14 @@ updates arrive as metadata-only messages and never touch the store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     AbstractSet,
     Any,
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Set,
@@ -62,23 +76,39 @@ class ReplicaSnapshot:
 
 @dataclass
 class ReplicaMetrics:
-    """Per-replica protocol statistics for one run."""
+    """Per-replica protocol statistics for one run.
+
+    Apply-delay statistics are streamed (count via ``applied_remote``,
+    plus running sum and max) so long chaos campaigns hold O(1) state per
+    replica instead of an ever-growing list of samples.
+    """
 
     issued: int = 0
     applied_remote: int = 0
     pending_high_water: int = 0
-    pending_wait_total: float = 0.0
-    apply_delays: List[float] = field(default_factory=list)
+    apply_delay_total: float = 0.0
+    apply_delay_max: float = 0.0
 
     @property
     def mean_apply_delay(self) -> float:
         """Mean time an update sat in ``pending`` before applying."""
-        if not self.apply_delays:
+        if not self.applied_remote:
             return 0.0
-        return sum(self.apply_delays) / len(self.apply_delays)
+        return self.apply_delay_total / self.applied_remote
+
+    def record_apply_delay(self, delay: float) -> None:
+        self.apply_delay_total += delay
+        if delay > self.apply_delay_max:
+            self.apply_delay_max = delay
 
 
 ApplyHook = Callable[["Replica", ReplicaId, Update], None]
+
+# One buffered update: (update, arrival time, sender-edge sequence).
+# Queues are dicts keyed by global arrival counter; insertion order is
+# arrival order, so iterating a queue scans in arrival order and removal
+# by key is O(1).
+_PendingEntry = Tuple[Update, float, Optional[int]]
 
 
 class Replica:
@@ -142,7 +172,29 @@ class Replica:
             initial_timestamp if initial_timestamp is not None
             else policy.initial()
         )
-        self.pending: List[Tuple[ReplicaId, Update, float]] = []
+        # Delivery engine state: per-sender FIFO queues, the senders whose
+        # queues must be (re-)examined, and the cached ready-entry arrival
+        # key per sender (valid until the sender is marked dirty again).
+        self._queues: Dict[ReplicaId, Dict[int, _PendingEntry]] = {}
+        self._pending_total = 0
+        self._arrival = 0
+        self._dirty: Set[ReplicaId] = set()
+        self._candidates: Dict[ReplicaId, int] = {}
+        self._deps: Dict[ReplicaId, Optional[FrozenSet]] = {}
+        # Per-sender map: sender-edge sequence -> arrival key.  ``None``
+        # marks a sender whose queue cannot be seq-indexed (an update
+        # without a sequence, or a duplicate) and falls back to scanning.
+        self._seqmaps: Dict[ReplicaId, Optional[Dict[int, int]]] = {}
+        self._readiness_deps = getattr(policy, "readiness_deps", None)
+        self._advance_delta = getattr(policy, "advance_delta", None)
+        self._merge_delta = getattr(policy, "merge_delta", None)
+        self._sender_seq = getattr(policy, "sender_seq", None)
+        self._next_seq = getattr(policy, "next_seq", None)
+        self._fifo = bool(
+            getattr(policy, "exact_sender_fifo", False)
+            and self._sender_seq is not None
+            and self._next_seq is not None
+        )
         self.metrics = ReplicaMetrics()
         self._seq = initial_seq
         self._timestamps_used: Optional[Set[Timestamp]] = (
@@ -183,7 +235,14 @@ class Replica:
         self._seq += 1
         uid = UpdateId(self.replica_id, self._seq)
         self.store[register] = value
-        self.timestamp = self.policy.advance(self.timestamp, register)
+        before = self.timestamp
+        if self._advance_delta is not None:
+            self.timestamp, changed = self._advance_delta(before, register)
+            if self.timestamp is not before:
+                self._wake_on_changed(changed)
+        else:
+            self.timestamp = self.policy.advance(before, register)
+            self._wake_after_change(before, self.timestamp)
         self._note_timestamp()
         self.metrics.issued += 1
         now = self.network.simulator.now
@@ -212,6 +271,8 @@ class Replica:
             metadata_only=meta_only,
             payload=payload,
         )
+        # timestamp_wire_bytes memoizes on the (immutable) timestamp, so a
+        # fan-out of N recipients sizes the encoding once, not N times.
         self.network.send(
             self.replica_id,
             dst,
@@ -239,24 +300,123 @@ class Replica:
             # delivers here (it drops at the physical layer), this guards
             # the plain-Network case.
             return
-        self.pending.append((src, update, self.network.simulator.now))
-        self.metrics.pending_high_water = max(
-            self.metrics.pending_high_water, len(self.pending)
-        )
+        self._enqueue(src, update, self.network.simulator.now)
+        if self._pending_total > self.metrics.pending_high_water:
+            self.metrics.pending_high_water = self._pending_total
         if not self._paused:
             self._drain()
 
+    def _enqueue(self, src: ReplicaId, update: Update, arrived: float) -> None:
+        arrival = self._arrival
+        self._arrival += 1
+        seq = self._sender_seq(src, update.timestamp) if self._fifo else None
+        queue = self._queues.get(src)
+        if queue is None:
+            queue = self._queues[src] = {}
+            if self._fifo:
+                self._seqmaps[src] = {}
+        queue[arrival] = (update, arrived, seq)
+        self._pending_total += 1
+        if self._fifo:
+            seqmap = self._seqmaps[src]
+            if seqmap is not None:
+                if seq is None or seq in seqmap:
+                    # Unindexable or duplicate sequence: this sender's
+                    # queue degrades to linear scanning.
+                    self._seqmaps[src] = None
+                else:
+                    seqmap[seq] = arrival
+        if self._readiness_deps is None:
+            self._deps[src] = None
+        else:
+            deps = self._readiness_deps(src, update.timestamp)
+            prev = self._deps.get(src, deps)
+            self._deps[src] = None if prev is None else prev | deps
+        self._dirty.add(src)
+
+    def _wake_after_change(self, before: Timestamp, after: Timestamp) -> None:
+        """Mark senders whose predicate inputs a timestamp change touched."""
+        if after is before or not self._queues:
+            return
+        self._wake_on_changed(after.diff_keys(before))
+
+    def _wake_on_changed(self, changed: Optional[FrozenSet]) -> None:
+        if not self._queues:
+            return
+        if changed is None:
+            # Unknown delta (incomparable representations): conservatively
+            # recheck every sender.
+            self._dirty.update(self._queues)
+        elif changed:
+            for sender, deps in self._deps.items():
+                if deps is None or deps & changed:
+                    self._dirty.add(sender)
+
+    def _find_candidate(self, sender: ReplicaId) -> Optional[int]:
+        """Arrival key of this sender's (unique) ready update, if any.
+
+        Under an exact sender-edge gap check at most one queued update per
+        sender can satisfy J -- the one carrying the next sequence number
+        -- so a seq-indexed sender resolves in O(1).  Senders that cannot
+        be seq-indexed (no hooks, lax predicates, unindexable entries)
+        scan their queue in arrival order, which preserves the historical
+        semantics for arbitrary predicates.
+        """
+        queue = self._queues.get(sender)
+        if not queue:
+            return None
+        ts = self.timestamp
+        ready = self.policy.ready
+        seqmap = self._seqmaps.get(sender) if self._fifo else None
+        if seqmap is not None:
+            want = self._next_seq(ts, sender)
+            if want is not None:
+                arrival = seqmap.get(want)
+                if arrival is not None and ready(
+                    ts, sender, queue[arrival][0].timestamp
+                ):
+                    return arrival
+                return None
+            # Sender edge untracked locally: fall through to scanning.
+        for arrival, entry in queue.items():
+            if ready(ts, sender, entry[0].timestamp):
+                return arrival
+        return None
+
     def _drain(self) -> None:
         """Apply pending updates whose predicate J holds, to fixpoint."""
-        progress = True
-        while progress:
-            progress = False
-            for index, (src, update, arrived) in enumerate(self.pending):
-                if self.policy.ready(self.timestamp, src, update.timestamp):
-                    del self.pending[index]
-                    self._apply(src, update, arrived)
-                    progress = True
-                    break
+        queues = self._queues
+        candidates = self._candidates
+        dirty = self._dirty
+        while True:
+            if dirty:
+                for sender in dirty:
+                    arrival = self._find_candidate(sender)
+                    if arrival is None:
+                        candidates.pop(sender, None)
+                    else:
+                        candidates[sender] = arrival
+                dirty.clear()
+            if not candidates:
+                return
+            # Apply the globally earliest-arrived ready update: identical
+            # order to the historical full-rescan implementation.
+            best_sender = min(candidates, key=candidates.__getitem__)
+            arrival = candidates.pop(best_sender)
+            queue = queues[best_sender]
+            update, arrived, seq = queue.pop(arrival)
+            self._pending_total -= 1
+            if not queue:
+                del queues[best_sender]
+                self._seqmaps.pop(best_sender, None)
+                self._deps.pop(best_sender, None)
+            else:
+                if seq is not None:
+                    seqmap = self._seqmaps.get(best_sender)
+                    if seqmap is not None:
+                        seqmap.pop(seq, None)
+                dirty.add(best_sender)
+            self._apply(best_sender, update, arrived)
 
     def _apply(self, src: ReplicaId, update: Update, arrived: float) -> None:
         register = update.register
@@ -276,12 +436,20 @@ class Replica:
                 f"replica {self.replica_id!r} received update for "
                 f"unstored register {register!r}"
             )
-        self.timestamp = self.policy.merge(self.timestamp, src, update.timestamp)
+        before = self.timestamp
+        if self._merge_delta is not None:
+            self.timestamp, changed = self._merge_delta(
+                before, src, update.timestamp
+            )
+            if self.timestamp is not before:
+                self._wake_on_changed(changed)
+        else:
+            self.timestamp = self.policy.merge(before, src, update.timestamp)
+            self._wake_after_change(before, self.timestamp)
         self._note_timestamp()
         now = self.network.simulator.now
         self.metrics.applied_remote += 1
-        self.metrics.apply_delays.append(now - arrived)
-        self.metrics.pending_wait_total += now - arrived
+        self.metrics.record_apply_delay(now - arrived)
         if self.history is not None:
             self.history.record_apply(self.replica_id, update.uid, now)
         if self._confirm_applied is not None:
@@ -290,6 +458,34 @@ class Replica:
             self._confirm_applied(self.replica_id, src, update)
         if self.on_apply is not None:
             self.on_apply(self, src, update)
+
+    # ------------------------------------------------------------------
+    # Pending buffer views (per-sender queues behind a flat facade)
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[Tuple[ReplicaId, Update, float]]:
+        """Buffered updates as ``(sender, update, arrived)`` in arrival order."""
+        merged: List[Tuple[int, ReplicaId, Update, float]] = [
+            (arrival, sender, update, arrived)
+            for sender, queue in self._queues.items()
+            for arrival, (update, arrived, _) in queue.items()
+        ]
+        merged.sort(key=lambda item: item[0])
+        return [(sender, update, arrived) for _, sender, update, arrived in merged]
+
+    @pending.setter
+    def pending(self, entries: Iterable[Tuple[ReplicaId, Update, float]]) -> None:
+        self._clear_pending()
+        for src, update, arrived in entries:
+            self._enqueue(src, update, arrived)
+
+    def _clear_pending(self) -> None:
+        self._queues.clear()
+        self._candidates.clear()
+        self._dirty.clear()
+        self._deps.clear()
+        self._seqmaps.clear()
+        self._pending_total = 0
 
     # ------------------------------------------------------------------
     # Pause / resume and snapshots (crash-recovery support)
@@ -339,7 +535,7 @@ class Replica:
         if self._crashed:
             raise ProtocolError(f"replica {self.replica_id!r} is already down")
         self._crashed = True
-        self.pending = []
+        self._clear_pending()
         crash_hook(self.replica_id)
 
     def recover(self) -> None:
@@ -423,12 +619,12 @@ class Replica:
 
     @property
     def pending_count(self) -> int:
-        return len(self.pending)
+        return self._pending_total
 
     def __repr__(self) -> str:
         return (
             f"Replica({self.replica_id!r}, {len(self.store)} registers, "
-            f"{len(self.pending)} pending)"
+            f"{self._pending_total} pending)"
         )
 
 

@@ -26,7 +26,6 @@ from typing import (
     Dict,
     FrozenSet,
     Iterable,
-    List,
     Mapping,
     Optional,
     Tuple,
@@ -269,9 +268,12 @@ class DSMSystem:
 
     def metrics(self) -> SystemMetrics:
         """Aggregate protocol metrics for the run so far."""
-        delays: List[float] = []
-        for r in self.replicas.values():
-            delays.extend(r.metrics.apply_delays)
+        delay_total = sum(
+            r.metrics.apply_delay_total for r in self.replicas.values()
+        )
+        delay_count = sum(
+            r.metrics.applied_remote for r in self.replicas.values()
+        )
         return SystemMetrics(
             timestamp_counters={
                 rid: r.policy.counters() for rid, r in self.replicas.items()
@@ -288,7 +290,7 @@ class DSMSystem:
                 (r.metrics.pending_high_water for r in self.replicas.values()),
                 default=0,
             ),
-            mean_apply_delay=sum(delays) / len(delays) if delays else 0.0,
+            mean_apply_delay=delay_total / delay_count if delay_count else 0.0,
         )
 
     def __repr__(self) -> str:

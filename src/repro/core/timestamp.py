@@ -16,16 +16,49 @@ used by the necessity (Theorem 8) experiments.
 * ``merge(i, tau, k, T)`` takes the element-wise max over ``E_i ∩ E_k``;
 * ``J(i, tau, k, T)`` is true iff ``tau[e_ki] == T[e_ki] - 1`` and
   ``tau[e_ji] >= T[e_ji]`` for every ``e_ji in E_i ∩ E_k`` with ``j != k``.
+
+Representation
+--------------
+Timestamps are stored as a flat tuple of counters over an interned
+:class:`~repro.core.edge_index.EdgeIndex` (a canonical edge -> position
+map shared by every timestamp with the same index set).  The policy
+precomputes position plans -- a register -> positions bump table for
+``advance`` and per-sender-index position pairings for ``merge`` and
+``J`` -- so the hot path is flat tuple arithmetic with no dictionary
+walks or per-edge hashing.  Value semantics (equality, hashing, the
+``Mapping``-flavoured accessors) are unchanged: the Definition 12
+``timestamps_used`` counting and every dict-constructed timestamp
+interoperate with array-constructed ones transparently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Protocol, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.edge_index import EdgeIndex
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp_graph import timestamp_graph
 from repro.errors import ConfigurationError
 from repro.types import Edge, RegisterName, ReplicaId
+
+def _uvarint_size(value: int) -> int:
+    """Size of ``value`` as a LEB128 varint.
+
+    Must agree with :func:`repro.wire.varint.uvarint_size`; duplicated
+    here (and cross-checked by tests) because the wire package imports
+    this module, so importing it back would be circular.
+    """
+    return max(1, (value.bit_length() + 6) // 7)
 
 
 class Timestamp:
@@ -35,79 +68,137 @@ class Timestamp:
     ``KeyError``.  Use :meth:`get` for the tolerant read used by ``merge``.
     Timestamps hash and compare by value so experiments can count distinct
     timestamps (Definition 12).
+
+    Internally the counters live in a flat tuple positioned by an interned
+    :class:`EdgeIndex`; :meth:`from_array` is the zero-copy constructor the
+    policies use on the hot path.
     """
 
-    __slots__ = ("_counters", "_index", "_hash")
+    __slots__ = ("_eindex", "_values", "_hash", "_wire_size")
 
     def __init__(self, counters: Mapping[Edge, int]) -> None:
-        self._counters: Dict[Edge, int] = dict(counters)
-        self._index: FrozenSet[Edge] = frozenset(self._counters)
+        eindex = EdgeIndex.of(counters.keys())
+        self._eindex: EdgeIndex = eindex
+        self._values: Tuple[int, ...] = tuple(
+            counters[e] for e in eindex.order
+        )
         self._hash: Optional[int] = None
+        self._wire_size: Optional[int] = None
+
+    @classmethod
+    def from_array(
+        cls, eindex: EdgeIndex, values: Sequence[int]
+    ) -> "Timestamp":
+        """Hot-path constructor over a known index; skips dict handling."""
+        ts = cls.__new__(cls)
+        ts._eindex = eindex
+        ts._values = tuple(values)
+        ts._hash = None
+        ts._wire_size = None
+        return ts
 
     @classmethod
     def zeros(cls, edges: Iterable[Edge]) -> "Timestamp":
-        return cls({e: 0 for e in edges})
+        eindex = EdgeIndex.of(edges)
+        return cls.from_array(eindex, (0,) * len(eindex))
 
     @property
     def index(self) -> FrozenSet[Edge]:
         """The edge set this timestamp is indexed by."""
-        return self._index
+        return self._eindex.keys
+
+    @property
+    def edge_index(self) -> EdgeIndex:
+        """The interned positional index (identity-comparable)."""
+        return self._eindex
+
+    @property
+    def values_array(self) -> Tuple[int, ...]:
+        """The flat counters in :attr:`edge_index` order."""
+        return self._values
 
     def __getitem__(self, e: Edge) -> int:
-        return self._counters[e]
+        return self._values[self._eindex.position[e]]
 
     def get(self, e: Edge, default: Optional[int] = None) -> Optional[int]:
-        return self._counters.get(e, default)
+        pos = self._eindex.position.get(e)
+        return default if pos is None else self._values[pos]
 
     def __contains__(self, e: Edge) -> bool:
-        return e in self._counters
+        return e in self._eindex.position
 
     def __len__(self) -> int:
-        return len(self._counters)
+        return len(self._values)
 
     def items(self) -> Iterable[Tuple[Edge, int]]:
-        return self._counters.items()
+        return zip(self._eindex.order, self._values)
 
     def to_dict(self) -> Dict[Edge, int]:
-        return dict(self._counters)
+        return dict(zip(self._eindex.order, self._values))
 
     def replace(self, changes: Mapping[Edge, int]) -> "Timestamp":
         """A copy with some counters replaced (must already be indexed)."""
-        for e in changes:
-            if e not in self._counters:
-                raise KeyError(e)
-        merged = dict(self._counters)
-        merged.update(changes)
-        return Timestamp(merged)
+        position = self._eindex.position
+        values = list(self._values)
+        for e, value in changes.items():
+            values[position[e]] = value  # KeyError on unindexed edges
+        return Timestamp.from_array(self._eindex, values)
 
     def total(self) -> int:
         """Sum of all counters (a cheap progress measure)."""
-        return sum(self._counters.values())
+        return sum(self._values)
 
     def dominates(self, other: "Timestamp") -> bool:
         """Element-wise ``>=`` over the shared index."""
+        if self._eindex is other._eindex:
+            return all(a >= b for a, b in zip(self._values, other._values))
+        position = self._eindex.position
+        other_position = other._eindex.position
+        if len(other_position) < len(position):
+            smaller, larger = other_position, position
+        else:
+            smaller, larger = position, other_position
         return all(
-            self._counters[e] >= other._counters[e]
-            for e in self._index & other._index
+            self._values[position[e]] >= other._values[other_position[e]]
+            for e in smaller
+            if e in larger
+        )
+
+    def diff_keys(self, other: "Timestamp") -> Optional[FrozenSet[Edge]]:
+        """Keys whose counters differ; ``None`` when the indexes differ.
+
+        The replica's wake-set delivery engine uses this to decide which
+        pending senders a state change could have unblocked.
+        """
+        if self._eindex is not other._eindex:
+            return None
+        if self._values == other._values:
+            return frozenset()
+        order = self._eindex.order
+        return frozenset(
+            order[pos]
+            for pos, (a, b) in enumerate(zip(self._values, other._values))
+            if a != b
         )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
-        return self._counters == other._counters
+        # Interning guarantees equal index sets share one EdgeIndex.
+        return self._eindex is other._eindex and self._values == other._values
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._counters.items()))
+            self._hash = hash((self._eindex.key_hash, self._values))
         return self._hash
 
     def __repr__(self) -> str:
-        inner = ", ".join(
-            f"e({u},{v})={c}"
-            for (u, v), c in sorted(
-                self._counters.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
-            )
-        )
+        def fmt(e: Edge) -> str:
+            if isinstance(e, tuple) and len(e) == 2:
+                return f"e({e[0]},{e[1]})"
+            return repr(e)
+
+        inner = ", ".join(f"{fmt(e)}={c}" for e, c in self.items())
         return f"Timestamp({inner})"
 
 
@@ -155,7 +246,27 @@ class EdgeIndexedPolicy:
     max_loop_len:
         Forwarded to the timestamp-graph computation when ``edges`` is not
         given (bounded-loop variant of Appendix D).
+
+    Subclassing note
+    ----------------
+    The delivery engine consults :meth:`readiness_deps` to learn which of
+    this replica's counters predicate ``J`` reads for a given sender; a
+    subclass whose overridden :meth:`ready` reads *more* of ``tau`` than
+    the base predicate must override :meth:`readiness_deps` to match
+    (reading a subset, as the ablation policies do, is always safe).
+    ``advance``/``merge`` delegate to :meth:`advance_delta` /
+    :meth:`merge_delta` (which additionally report the changed keys), so
+    a subclass that wants different update semantics overrides the
+    ``*_delta`` variant and gets the plain method for free.  A subclass
+    that weakens the sender-edge gap check (accepting updates other than
+    the exact next one on ``e_ki``) must also set
+    :attr:`exact_sender_fifo` to ``False``.
     """
+
+    #: Predicate J accepts only the sender's exact-next update on edge
+    #: ``e_ki`` (``tau[e_ki] == T[e_ki] - 1``), so the delivery engine may
+    #: index each sender's queue by that counter and skip linear scans.
+    exact_sender_fifo = True
 
     def __init__(
         self,
@@ -191,6 +302,7 @@ class EdgeIndexedPolicy:
         self._incoming: Tuple[Edge, ...] = tuple(sorted(
             incident_in, key=lambda e: (str(e[0]), str(e[1]))
         ))
+        self._build_plans()
 
     @classmethod
     def unsafe_with_edges(
@@ -216,34 +328,184 @@ class EdgeIndexedPolicy:
             ),
             key=lambda e: (str(e[0]), str(e[1])),
         ))
+        policy._build_plans()
         return policy
 
     # ------------------------------------------------------------------
+    # Precomputed position plans (the hot-path engine)
+    # ------------------------------------------------------------------
+    def _build_plans(self) -> None:
+        i = self.replica_id
+        eindex = EdgeIndex.of(self.edges)
+        self._eindex: EdgeIndex = eindex
+        self._zero: Timestamp = Timestamp.from_array(
+            eindex, (0,) * len(eindex)
+        )
+        # advance: register -> positions of out-edges (i, k) with x in X_ik.
+        bumps: Dict[RegisterName, List[int]] = {}
+        for e in eindex.order:
+            if isinstance(e, tuple) and len(e) == 2 and e[0] == i:
+                for x in self.graph.shared(i, e[1]):
+                    bumps.setdefault(x, []).append(eindex.position[e])
+        self._bumps: Dict[RegisterName, Tuple[int, ...]] = {
+            x: tuple(ps) for x, ps in bumps.items()
+        }
+        # merge / ready: per-sender-index plans, built lazily (one sender
+        # index is shared by every message from that sender, so each plan
+        # is computed once per run).
+        self._merge_plans: Dict[EdgeIndex, Tuple] = {}
+        self._ready_plans: Dict[
+            Tuple[ReplicaId, EdgeIndex],
+            Tuple[Optional[int], Optional[int], Tuple[Tuple[int, int], ...]],
+        ] = {}
+        self._deps_cache: Dict[
+            Tuple[ReplicaId, EdgeIndex], FrozenSet[Edge]
+        ] = {}
+
+    def _merge_plan(
+        self, sender_index: EdgeIndex
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Position pairs ``(own, sender)`` over ``E_i ∩ E_k``."""
+        plan = self._merge_plans.get(sender_index)
+        if plan is None:
+            sender_position = sender_index.position
+            plan = self._merge_plans[sender_index] = tuple(
+                (pos, sender_position[e])
+                for pos, e in enumerate(self._eindex.order)
+                if e in sender_position
+            )
+        return plan
+
+    def _ready_plan(
+        self, sender: ReplicaId, sender_index: EdgeIndex
+    ) -> Tuple[Optional[int], Optional[int], Tuple[Tuple[int, int], ...]]:
+        key = (sender, sender_index)
+        plan = self._ready_plans.get(key)
+        if plan is None:
+            e_ki = (sender, self.replica_id)
+            own_pos = self._eindex.position.get(e_ki)
+            sender_pos = sender_index.position.get(e_ki)
+            if own_pos is None or sender_pos is None:
+                # The sender edge is not tracked by both sides: the gap
+                # check is vacuous (only reachable for crippled policies).
+                own_pos = sender_pos = None
+            third = tuple(
+                (self._eindex.position[e], sender_index.position[e])
+                for e in self._incoming
+                if e[0] != sender and e in sender_index.position
+            )
+            plan = self._ready_plans[key] = (own_pos, sender_pos, third)
+        return plan
+
+    # ------------------------------------------------------------------
     def initial(self) -> Timestamp:
-        return Timestamp.zeros(self.edges)
+        return self._zero
 
     def advance(self, ts: Timestamp, register: RegisterName) -> Timestamp:
+        return self.advance_delta(ts, register)[0]
+
+    def advance_delta(
+        self, ts: Timestamp, register: RegisterName
+    ) -> Tuple[Timestamp, Optional[FrozenSet[Edge]]]:
+        """``advance`` plus the set of keys it changed (``None`` = unknown).
+
+        The delta comes for free from the bump table, saving the delivery
+        engine a full post-hoc scan when computing its wake set.
+        """
+        if ts._eindex is self._eindex:
+            positions = self._bumps.get(register)
+            if not positions:
+                return ts, frozenset()
+            old_values = ts._values
+            values = list(old_values)
+            for pos in positions:
+                values[pos] += 1
+            out = Timestamp.from_array(self._eindex, values)
+            if ts._wire_size is not None:
+                size = ts._wire_size
+                for pos in positions:
+                    nv = values[pos]
+                    ov = old_values[pos]
+                    # counters < 128 (the common case) encode in one byte
+                    if nv >= 128 or ov >= 128:
+                        size += _uvarint_size(nv) - _uvarint_size(ov)
+                out._wire_size = size
+            order = self._eindex.order
+            return out, frozenset(order[pos] for pos in positions)
+        # Foreign index (not produced by this policy): generic path.
         i = self.replica_id
         changes: Dict[Edge, int] = {}
         for e in self.edges:
             j, k = e
             if j == i and register in self.graph.shared(i, k):
                 changes[e] = ts[e] + 1
-        return ts.replace(changes)
+        return ts.replace(changes), frozenset(changes)
 
     def merge(
         self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
     ) -> Timestamp:
-        changes: Dict[Edge, int] = {}
+        return self.merge_delta(ts, sender, sender_ts)[0]
+
+    def merge_delta(
+        self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
+    ) -> Tuple[Timestamp, Optional[FrozenSet[Edge]]]:
+        """``merge`` plus the set of keys it raised (``None`` = unknown).
+
+        The changed positions are collected during the element-wise max
+        walk itself, so the delivery engine's wake set costs no second
+        pass over the counters.
+        """
+        if ts._eindex is self._eindex:
+            values = ts._values
+            sender_values = sender_ts._values
+            out: Optional[List[int]] = None
+            changed: List[int] = []
+            for pos, sender_pos in self._merge_plan(sender_ts._eindex):
+                v = sender_values[sender_pos]
+                if v > values[pos]:
+                    if out is None:
+                        out = list(values)
+                    out[pos] = v
+                    changed.append(pos)
+            if out is None:
+                return ts, frozenset()
+            new_ts = Timestamp.from_array(self._eindex, out)
+            if ts._wire_size is not None:
+                new_values = new_ts._values
+                size = ts._wire_size
+                for pos in changed:
+                    nv = new_values[pos]
+                    ov = values[pos]
+                    if nv >= 128 or ov >= 128:
+                        size += _uvarint_size(nv) - _uvarint_size(ov)
+                new_ts._wire_size = size
+            order = self._eindex.order
+            return new_ts, frozenset(order[pos] for pos in changed)
+        changes = {}
         for e in self.edges:
             other = sender_ts.get(e)
             if other is not None and other > ts[e]:
                 changes[e] = other
-        return ts.replace(changes)
+        return ts.replace(changes), frozenset(changes)
 
     def ready(
         self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
     ) -> bool:
+        if ts._eindex is self._eindex:
+            own_pos, sender_pos, third = self._ready_plan(
+                sender, sender_ts._eindex
+            )
+            values = ts._values
+            sender_values = sender_ts._values
+            if (
+                own_pos is not None
+                and values[own_pos] != sender_values[sender_pos] - 1
+            ):
+                return False
+            for pos, spos in third:
+                if values[pos] < sender_values[spos]:
+                    return False
+            return True
         i = self.replica_id
         e_ki = (sender, i)
         own = ts.get(e_ki)
@@ -262,6 +524,44 @@ class EdgeIndexedPolicy:
             if other is not None and ts[e] < other:
                 return False
         return True
+
+    def readiness_deps(
+        self, sender: ReplicaId, sender_ts: Timestamp
+    ) -> FrozenSet[Edge]:
+        """The local counters predicate ``J`` reads for this sender.
+
+        ``J(i, tau, k, T)`` touches ``tau[e_ki]`` (when both sides track
+        the sender edge) and ``tau[e_ji]`` for incoming edges the sender
+        also carries -- so exactly the incoming edges present in the
+        sender's index.  The delivery engine re-evaluates a sender's queue
+        only when one of these counters changes.
+        """
+        sender_index = sender_ts._eindex
+        key = (sender, sender_index)
+        deps = self._deps_cache.get(key)
+        if deps is None:
+            sender_position = sender_index.position
+            deps = self._deps_cache[key] = frozenset(
+                e for e in self._incoming if e in sender_position
+            )
+        return deps
+
+    def sender_seq(
+        self, sender: ReplicaId, sender_ts: Timestamp
+    ) -> Optional[int]:
+        """``T[e_ki]``: the sender-edge sequence number of an update.
+
+        Strictly increasing across the updates replica ``i`` receives from
+        ``sender`` (every such update bumps ``e_ki``), so it keys the
+        delivery engine's per-sender queue index.  ``None`` when the edge
+        is untracked (crippled policies only).
+        """
+        return sender_ts.get((sender, self.replica_id))
+
+    def next_seq(self, ts: Timestamp, sender: ReplicaId) -> Optional[int]:
+        """Sender-edge value the next applicable update must carry."""
+        own = ts.get((sender, self.replica_id))
+        return None if own is None else own + 1
 
     def counters(self) -> int:
         return len(self.edges)

@@ -26,6 +26,7 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -34,8 +35,9 @@ class EventHandle:
     Allows a pending event to be cancelled without disturbing the heap.
     """
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -46,7 +48,11 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.done:
+            return  # cancelling twice, or after execution, is a no-op
+        event.cancelled = True
+        self._simulator._note_cancelled()
 
 
 class Simulator:
@@ -60,12 +66,19 @@ class Simulator:
         :attr:`rng` so a run is reproducible from this single seed.
     """
 
+    #: Compact the agenda once at least this many cancelled events are
+    #: buried in it (and they outnumber the live ones) -- keeps heap
+    #: operations O(log live) under cancellation-heavy fault schedules.
+    _COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
         self._agenda: List[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_executed: int = 0
+        self._live: int = 0
+        self._cancelled_pending: int = 0
         self._running = False
 
     @property
@@ -83,6 +96,24 @@ class Simulator:
         """Number of events still on the agenda (including cancelled)."""
         return len(self._agenda)
 
+    @property
+    def live_events(self) -> int:
+        """Number of non-cancelled events still on the agenda."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled_pending += 1
+        # Lazy purge: cancelled events normally pop off the heap for free,
+        # but if they pile up (mass link-down cancellations) rebuild once.
+        if (
+            self._cancelled_pending >= self._COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._agenda)
+        ):
+            self._agenda = [e for e in self._agenda if not e.cancelled]
+            heapq.heapify(self._agenda)
+            self._cancelled_pending = 0
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
@@ -92,7 +123,8 @@ class Simulator:
         event = Event(self._now + delay, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._agenda, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -105,7 +137,10 @@ class Simulator:
         while self._agenda:
             event = heapq.heappop(self._agenda)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            event.done = True
+            self._live -= 1
             self._now = event.time
             self._events_executed += 1
             event.callback(*event.args)
@@ -139,6 +174,7 @@ class Simulator:
                 head = self._agenda[0]
                 if head.cancelled:
                     heapq.heappop(self._agenda)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and head.time > until:
                     return
@@ -148,5 +184,5 @@ class Simulator:
             self._running = False
 
     def drained(self) -> bool:
-        """True when no live (non-cancelled) event remains."""
-        return not any(not e.cancelled for e in self._agenda)
+        """True when no live (non-cancelled) event remains.  O(1)."""
+        return self._live == 0

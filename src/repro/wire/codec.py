@@ -59,10 +59,23 @@ def decode_timestamp(
 
 
 def timestamp_wire_bytes(ts: Timestamp) -> int:
-    """Encoded size without materializing bytes (hot path of accounting)."""
+    """Encoded size without materializing bytes (hot path of accounting).
+
+    Timestamps are immutable, so the size is memoized on the value: a
+    fan-out of N recipients (and any retransmissions) computes it once.
+    Works on any timestamp-like object; only :class:`Timestamp` (which
+    reserves a ``_wire_size`` slot) gets the memo.
+    """
+    cached = getattr(ts, "_wire_size", None)
+    if cached is not None:
+        return cached
     size = uvarint_size(len(ts))
     for _, value in ts.items():
         size += uvarint_size(value)
+    try:
+        ts._wire_size = size
+    except AttributeError:
+        pass
     return size
 
 

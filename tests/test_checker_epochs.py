@@ -43,6 +43,47 @@ def test_epoch_relevance_boundaries():
     assert any(v.replica == 1 for v in flat.safety)
 
 
+def test_many_epochs_incremental_relevance_matches_expectation():
+    """Exercise the per-register incremental relevance path over many
+    epochs: replica 1 alternately gains and loses register ``y`` (its
+    mask must be recomputed every other epoch) while replica 2's
+    placement never changes (its mask must be reusable every epoch).
+    The exact violation set is computed independently below, so any
+    drift from the old walk-all-updates-per-epoch semantics fails."""
+    epochs = 30
+    with_y = ShareGraph({1: {"x", "y"}, 2: {"x", "y"}})
+    without_y = ShareGraph({1: {"x"}, 2: {"x", "y"}})
+
+    h = History()
+    epoch_graphs = []
+    t = 0.0
+    expected = set()  # (replica, applied, missing) triples
+    unapplied_y = []  # y-updates replica 1 never applies
+    for k in range(epochs):
+        g = with_y if k % 2 else without_y
+        epoch_graphs.append((len(h.events), g))
+        yk, xk = u(2, 2 * k + 1), u(2, 2 * k + 2)
+        h.record_issue(2, yk, "y", t)
+        t += 1.0
+        unapplied_y.append(yk)
+        h.record_issue(2, xk, "x", t)  # causally after every prior update
+        t += 1.0
+        h.record_apply(1, xk, t)  # replica 1 skips all the y-updates
+        t += 1.0
+        if g is with_y:
+            # y is relevant this epoch: every unapplied y-update in
+            # xk's causal past is a missing dependency.
+            expected.update((1, xk, y) for y in unapplied_y)
+
+    result = check_history(
+        h, epoch_graphs[-1][1], epoch_graphs=epoch_graphs,
+        require_liveness=False,
+    )
+    got = {(v.replica, v.applied, v.missing) for v in result.safety}
+    assert got == expected
+    assert not result.ok and len(expected) > 0
+
+
 def test_epoch_graphs_sorted_by_position():
     graph_a = ShareGraph({1: {"x"}, 2: {"x"}})
     h = History()

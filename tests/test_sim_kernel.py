@@ -137,3 +137,68 @@ def test_not_reentrant():
 
     sim.schedule(1.0, reenter)
     sim.run()
+
+
+def test_drained_is_constant_time_bookkeeping():
+    """``drained`` reads a live counter; it must stay correct through
+    schedule / cancel / execute without scanning the agenda."""
+    sim = Simulator()
+    handles = [sim.schedule(float(n), lambda: None) for n in range(10)]
+    assert sim.live_events == 10 and not sim.drained()
+    for h in handles[:4]:
+        h.cancel()
+    assert sim.live_events == 6
+    sim.run()
+    assert sim.live_events == 0 and sim.drained()
+    assert sim.events_executed == 6
+
+
+def test_cancel_after_execution_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.drained()
+    handle.cancel()  # already executed; must not corrupt the counters
+    assert not handle.cancelled
+    assert sim.live_events == 0 and sim.drained()
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.live_events == 1
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_mass_cancellation_compacts_agenda():
+    """When cancelled events dominate the agenda the kernel rebuilds it
+    (lazy purge) so the heap does not carry dead weight."""
+    sim = Simulator()
+    live = sim.schedule(1000.0, lambda: None)
+    doomed = [sim.schedule(float(n + 1), lambda: None) for n in range(200)]
+    assert sim.pending_events == 201
+    for h in doomed:
+        h.cancel()
+    # Compaction (>= _COMPACT_MIN cancelled, majority dead) must have
+    # fired: at most a sub-threshold tail of dead events may remain.
+    assert sim.pending_events <= 1 + Simulator._COMPACT_MIN
+    assert sim.live_events == 1 and not sim.drained()
+    sim.run()
+    assert sim.events_executed == 1 and sim.now == 1000.0
+
+
+def test_cancelled_head_popped_without_execution():
+    sim = Simulator()
+    seen = []
+    first = sim.schedule(1.0, seen.append, "dead")
+    sim.schedule(2.0, seen.append, "alive")
+    first.cancel()
+    # Below the compaction threshold the dead head is skipped on pop.
+    assert sim.pending_events == 2
+    sim.run()
+    assert seen == ["alive"]
+    assert sim.pending_events == 0

@@ -1,0 +1,131 @@
+"""Edge cases of the flat-tuple :class:`Timestamp` representation.
+
+These pin the value semantics the hot-path rewrite must preserve:
+dict-constructed and array-constructed timestamps are indistinguishable,
+reads outside the index fail loudly, and the incrementally maintained
+wire-size memo always agrees with a from-scratch computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edge_index import EdgeIndex
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy, Timestamp, _uvarint_size
+from repro.wire.codec import timestamp_wire_bytes
+from repro.wire.varint import uvarint_size
+
+E12 = (1, 2)
+E21 = (2, 1)
+E34 = (3, 4)
+
+
+class TestDominates:
+    def test_disjoint_indexes_vacuously_dominate(self):
+        """``dominates`` quantifies over the *shared* index; with no
+        shared edges both directions hold vacuously."""
+        a = Timestamp({E12: 3})
+        b = Timestamp({E34: 99})
+        assert a.dominates(b)
+        assert b.dominates(a)
+
+    def test_partial_overlap_judged_on_shared_edges_only(self):
+        a = Timestamp({E12: 5, E21: 1})
+        b = Timestamp({E12: 4, E34: 100})
+        assert a.dominates(b)  # only E12 is shared; 5 >= 4
+        assert not b.dominates(a)
+
+    def test_same_index_elementwise(self):
+        a = Timestamp({E12: 2, E21: 2})
+        b = Timestamp({E12: 2, E21: 3})
+        assert b.dominates(a)
+        assert not a.dominates(b)
+        assert a.dominates(a)
+
+
+class TestReplace:
+    def test_replace_unindexed_edge_raises_keyerror(self):
+        ts = Timestamp({E12: 1})
+        with pytest.raises(KeyError):
+            ts.replace({E34: 7})
+
+    def test_replace_keeps_index_identity(self):
+        ts = Timestamp({E12: 1, E21: 2})
+        out = ts.replace({E12: 5})
+        assert out.edge_index is ts.edge_index
+        assert out[E12] == 5 and out[E21] == 2
+
+    def test_getitem_unindexed_raises_get_returns_default(self):
+        ts = Timestamp({E12: 1})
+        with pytest.raises(KeyError):
+            ts[E34]
+        assert ts.get(E34) is None
+        assert ts.get(E34, 0) == 0
+
+
+class TestValueSemantics:
+    def test_hash_stable_across_construction_paths(self):
+        by_dict = Timestamp({E12: 4, E21: 9})
+        eindex = EdgeIndex.of([E12, E21])
+        by_array = Timestamp.from_array(
+            eindex, [by_dict[e] for e in eindex.order]
+        )
+        assert by_dict == by_array
+        assert hash(by_dict) == hash(by_array)
+        # Definition 12 counting relies on set/dict interchangeability.
+        assert len({by_dict, by_array}) == 1
+
+    def test_insertion_order_does_not_matter(self):
+        a = Timestamp({E12: 1, E21: 2})
+        b = Timestamp({E21: 2, E12: 1})
+        assert a == b and hash(a) == hash(b)
+        assert a.edge_index is b.edge_index  # interned
+
+    def test_different_values_different_timestamps(self):
+        assert Timestamp({E12: 1}) != Timestamp({E12: 2})
+        assert len({Timestamp({E12: 1}), Timestamp({E12: 2})}) == 2
+
+
+class TestWireSize:
+    def test_uvarint_size_duplicate_agrees_with_wire_module(self):
+        """core.timestamp duplicates ``uvarint_size`` to avoid a circular
+        import; the two implementations must never drift."""
+        values = list(range(0, 300))
+        values += [2**k - 1 for k in range(1, 64)]
+        values += [2**k for k in range(0, 64)]
+        for v in values:
+            assert _uvarint_size(v) == uvarint_size(v), v
+
+    def test_incremental_wire_size_matches_recompute_over_trace(self):
+        """Drive a policy through advances and merges; after every step
+        the memoized wire size must equal a from-scratch computation on
+        an unmemoized copy of the same timestamp."""
+        graph = ShareGraph({1: {"x", "y"}, 2: {"x", "y"}, 3: {"y"}})
+        p1 = EdgeIndexedPolicy(graph, 1)
+        p2 = EdgeIndexedPolicy(graph, 2)
+        t1, t2 = p1.initial(), p2.initial()
+
+        def assert_fresh(ts: Timestamp) -> None:
+            fresh = Timestamp(ts.to_dict())  # no memo yet
+            assert timestamp_wire_bytes(ts) == timestamp_wire_bytes(fresh)
+
+        # Push counters across the 1-byte varint boundary (128) so the
+        # incremental path exercises the re-measure branch.
+        for round_no in range(200):
+            t1 = p1.advance(t1, "x")
+            assert_fresh(t1)
+            t2 = p2.merge(t2, 1, t1)
+            assert_fresh(t2)
+            if round_no % 3 == 0:
+                t2 = p2.advance(t2, "y")
+                assert_fresh(t2)
+                t1 = p1.merge(t1, 2, t2)
+                assert_fresh(t1)
+
+    def test_wire_size_memo_populated_lazily(self):
+        ts = Timestamp({E12: 1})
+        assert ts._wire_size is None
+        size = timestamp_wire_bytes(ts)
+        assert ts._wire_size == size
+        assert timestamp_wire_bytes(ts) == size
