@@ -13,6 +13,8 @@ from repro.checker.check import (
     SafetyViolation,
     SessionViolation,
     check_history,
+    frontier_closure_violations,
+    relevant_update_mask,
 )
 
 __all__ = [
@@ -21,4 +23,6 @@ __all__ = [
     "SafetyViolation",
     "SessionViolation",
     "check_history",
+    "frontier_closure_violations",
+    "relevant_update_mask",
 ]

@@ -252,6 +252,57 @@ def check_history(
     return result
 
 
+def relevant_update_mask(
+    history: History, graph: ShareGraph, replica: ReplicaId
+) -> int:
+    """Bitmask of all issued updates on registers ``replica`` stores."""
+    mask = 0
+    registers = graph.registers_at(replica)
+    for uid in history.all_updates():
+        if history.updates[uid].register in registers:
+            mask |= history.bit_of(uid)
+    return mask
+
+
+def frontier_closure_violations(
+    history: History,
+    graph: ShareGraph,
+    replica: ReplicaId,
+    install_mask: int,
+    max_violations: int = 20,
+) -> List[Tuple[UpdateId, UpdateId]]:
+    """Audit a proposed snapshot install set before it is spliced in.
+
+    The anti-entropy layer may only install a set ``S`` of updates at
+    ``replica`` if ``S`` together with what the replica already applied is
+    *causally closed over the replica's registers*: for every ``u in S``,
+    every ``u2 -> u`` on a register of ``X_replica`` is applied or in
+    ``S``.  Otherwise recording the installs would fabricate the exact
+    safety violation the checker exists to catch.  Returns ``(installed,
+    missing-dependency)`` pairs; empty means the splice is safe.
+
+    This is defence in depth: :func:`repro.sync.snapshot.install_mask`
+    constructs ``S`` as an intersection with the donor's (transitively
+    closed) causal past, which is provably closed -- the sync manager
+    still runs this audit on every transfer so a future regression fails
+    loudly at the source rather than as a checker verdict much later.
+    """
+    token = history.access_token(replica)
+    relevant = relevant_update_mask(history, graph, replica)
+    covered = token.applied | install_mask
+    out: List[Tuple[UpdateId, UpdateId]] = []
+    for uid in history.all_updates():
+        if not history.bit_of(uid) & install_mask:
+            continue
+        missing = history.past_mask_of(uid) & relevant & ~covered
+        if missing:
+            for missing_uid in _mask_updates(history, missing):
+                out.append((uid, missing_uid))
+                if len(out) >= max_violations:
+                    return out
+    return out
+
+
 def _mask_updates(history: History, mask: int) -> List[UpdateId]:
     order = history.all_updates()
     out: List[UpdateId] = []

@@ -143,23 +143,89 @@ def cmd_race(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.harness.chaos import ChaosSpec, run_chaos_campaign
+    import dataclasses
+    import json
 
-    graph = _build_graph(args)
-    spec = ChaosSpec(
-        placements=graph,
-        loss=args.loss,
-        duplication=args.dup,
-        writes=args.writes,
-        horizon=args.horizon,
-        crash_count=args.crashes,
-        checkpoints=args.checkpoints,
+    from repro.harness.chaos import (
+        SCENARIOS,
+        ChaosSpec,
+        run_chaos_campaign,
+        run_chaos_trial,
     )
-    report = run_chaos_campaign(
-        spec, seeds=range(args.seed, args.seed + args.seeds)
-    )
-    print(report.summary())
-    return 0 if report.ok else 1
+
+    # Scenarios default to sync on (they exist to prove it necessary);
+    # the classic sweep defaults to sync off, preserving its behaviour.
+    sync = args.sync if args.sync is not None else args.scenario is not None
+    if args.scenario is not None:
+        spec = SCENARIOS[args.scenario](sync=sync)
+    else:
+        graph = _build_graph(args)
+        spec = ChaosSpec(
+            placements=graph,
+            loss=args.loss,
+            duplication=args.dup,
+            writes=args.writes,
+            horizon=args.horizon,
+            crash_count=args.crashes,
+            checkpoints=args.checkpoints,
+            sync=sync,
+        )
+    # Explicit cap/threshold flags override the preset's tuning.
+    overrides = {
+        name: getattr(args, name)
+        for name in ("pending_cap", "gap_threshold", "unacked_cap")
+        if getattr(args, name) is not None
+    }
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+
+    if args.verbose:
+        # Single-trial replay with an annotated timeline: the exact trial
+        # a campaign line like ``seed=17: FAIL ...`` refers to.
+        timeline = []
+        result = run_chaos_trial(spec, args.seed, timeline=timeline)
+        for event in timeline:
+            print(event)
+        print(result)
+        report_trials = [result]
+        campaign_ok = result.ok
+    else:
+        report = run_chaos_campaign(
+            spec, seeds=range(args.seed, args.seed + args.seeds)
+        )
+        print(report.summary())
+        report_trials = list(report.trials)
+        campaign_ok = report.ok
+
+    if args.report:
+        doc = {
+            "scenario": args.scenario or "custom",
+            "sync": spec.sync,
+            "ok": campaign_ok,
+            "trials": [
+                {
+                    "seed": t.seed,
+                    "ok": t.ok,
+                    "failures": list(t.failures),
+                    "syncs": t.syncs,
+                    "updates_shed": t.updates_shed,
+                    "stale_discarded": t.stale_discarded,
+                    "snapshot_bytes": t.snapshot_bytes,
+                    "pending_high_water": t.pending_high_water,
+                    "unacked_high_water": t.unacked_high_water,
+                    "log_truncated": t.log_truncated,
+                    "log_compacted": t.log_compacted,
+                    "retransmits": t.retransmits,
+                    "messages_dropped": t.messages_dropped,
+                }
+                for t in report_trials
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+    return 0 if campaign_ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -266,6 +332,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--checkpoints", type=int, default=4)
     p_chaos.add_argument("--seeds", type=int, default=20, help="trial count")
     p_chaos.add_argument("--seed", type=int, default=0, help="first seed")
+    p_chaos.add_argument(
+        "--scenario",
+        choices=("long-partition", "slow-replica"),
+        default=None,
+        help="tuned robustness preset (overrides topology/fault flags)",
+    )
+    p_chaos.add_argument(
+        "--sync",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="anti-entropy state transfer (default: on for --scenario, "
+        "off otherwise)",
+    )
+    p_chaos.add_argument(
+        "--pending-cap", type=int, default=None, dest="pending_cap",
+        help="bound each replica's pending buffer (sheds + escalates)",
+    )
+    p_chaos.add_argument(
+        "--gap-threshold", type=int, default=None, dest="gap_threshold",
+        help="sender-edge sequence gap that escalates to state transfer",
+    )
+    p_chaos.add_argument(
+        "--unacked-cap", type=int, default=None, dest="unacked_cap",
+        help="bound each channel's retransmit log (truncates oldest)",
+    )
+    p_chaos.add_argument(
+        "--verbose",
+        action="store_true",
+        help="replay a single trial (--seed) and print its timeline",
+    )
+    p_chaos.add_argument(
+        "--report", default=None, help="write a JSON trial report here"
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_bench = sub.add_parser(

@@ -88,6 +88,13 @@ class ReplicaMetrics:
     pending_high_water: int = 0
     apply_delay_total: float = 0.0
     apply_delay_max: float = 0.0
+    # Anti-entropy counters (zero unless the sync layer is wired in):
+    # snapshot installs, pending entries shed by backpressure, and stale
+    # deliveries discarded because a snapshot frontier already covered
+    # them.
+    syncs: int = 0
+    updates_shed: int = 0
+    stale_discarded: int = 0
 
     @property
     def mean_apply_delay(self) -> float:
@@ -204,6 +211,20 @@ class Replica:
         self._paused = False
         self._crashed = False
         self._value_merge = value_merge
+        # Anti-entropy wiring (installed by repro.sync.SyncManager; all
+        # None/empty by default so the classic behaviour is untouched).
+        # ``pending_cap`` bounds the pending buffer: reaching it sheds the
+        # buffer and escalates to state transfer via ``on_sync_needed``.
+        # ``gap_threshold`` escalates when an arriving update's sender-edge
+        # sequence runs this far ahead of the next deliverable one.
+        # ``_value_debt`` tracks, per register, the one installed update
+        # whose *value* the snapshot could not supply (donor did not store
+        # the register); the value is filled in when the update's own
+        # retransmission arrives.
+        self.pending_cap: Optional[int] = None
+        self.gap_threshold: Optional[int] = None
+        self.on_sync_needed: Optional[Callable[[ReplicaId, str], None]] = None
+        self._value_debt: Dict[RegisterName, UpdateId] = {}
         # Reliable transports expose crash/recovery and durable-apply
         # confirmation; on the plain (always reliable) Network these hooks
         # simply do not exist.
@@ -300,11 +321,52 @@ class Replica:
             # delivers here (it drops at the physical layer), this guards
             # the plain-Network case.
             return
+        if self.on_sync_needed is not None and self._fifo:
+            seq = self._sender_seq(src, update.timestamp)
+            want = self._next_seq(self.timestamp, src)
+            if seq is not None and want is not None:
+                if seq < want:
+                    # At or below the delivery frontier: the content
+                    # arrived via a snapshot install (or was applied and
+                    # re-sent after a shed).  Never re-apply -- just
+                    # settle any value debt and ack so the sender's
+                    # retransmission stops.
+                    self._discard_stale(src, update)
+                    return
+                if (
+                    self.gap_threshold is not None
+                    and seq - want >= self.gap_threshold
+                ):
+                    # The sender is far ahead: the retransmit prefix was
+                    # truncated or we are freshly recovered.  Catching up
+                    # update-by-update would be O(history); escalate.
+                    self.on_sync_needed(self.replica_id, "gap")
         self._enqueue(src, update, self.network.simulator.now)
         if self._pending_total > self.metrics.pending_high_water:
             self.metrics.pending_high_water = self._pending_total
+        if (
+            self.pending_cap is not None
+            and self.on_sync_needed is not None
+            and self._pending_total >= self.pending_cap
+        ):
+            # Backpressure: shed the whole buffer (the channel layer rolls
+            # the deliveries back so nothing is lost) and escalate to a
+            # state transfer instead of growing without bound.
+            self.shed_pending()
+            self.on_sync_needed(self.replica_id, "overflow")
+            return
         if not self._paused:
             self._drain()
+
+    def _discard_stale(self, src: ReplicaId, update: Update) -> None:
+        self.metrics.stale_discarded += 1
+        debt = self._value_debt.get(update.register)
+        if debt is not None and debt == update.uid:
+            if update.register in self.store and not update.metadata_only:
+                self.store[update.register] = update.value
+            del self._value_debt[update.register]
+        if self._confirm_applied is not None:
+            self._confirm_applied(self.replica_id, src, update)
 
     def _enqueue(self, src: ReplicaId, update: Update, arrived: float) -> None:
         arrival = self._arrival
@@ -486,6 +548,62 @@ class Replica:
         self._deps.clear()
         self._seqmaps.clear()
         self._pending_total = 0
+
+    # ------------------------------------------------------------------
+    # Anti-entropy: shedding and snapshot installation (repro.sync)
+    # ------------------------------------------------------------------
+    def shed_pending(self) -> int:
+        """Drop every buffered update and roll its channel state back.
+
+        The shed entries were delivered but never applied, so the
+        reliable transport still holds them unacked at their senders;
+        rolling the volatile channel state back makes the retransmissions
+        re-deliver them later.  Nothing is lost -- memory is reclaimed
+        now, redelivery (or a covering snapshot) restores the data.
+        Returns the number of entries shed.
+        """
+        shed = self._pending_total
+        if shed == 0:
+            return 0
+        self.metrics.updates_shed += shed
+        self._clear_pending()
+        rollback = getattr(self.network, "rollback_volatile", None)
+        if rollback is not None:
+            rollback(self.replica_id)
+        return shed
+
+    def install_sync_state(
+        self,
+        timestamp: Timestamp,
+        values: Dict[RegisterName, Any],
+        value_debt: Dict[RegisterName, UpdateId],
+    ) -> None:
+        """Atomically adopt a causally consistent snapshot.
+
+        Called by :class:`repro.sync.SyncManager` *after* it has recorded
+        the transferred updates in the history and settled the channel
+        state (acks for covered segments, rollback for the rest).  The
+        pending buffer is shed first -- every entry is either covered by
+        the snapshot (stale now) or will be re-delivered by its sender's
+        retransmission -- then the store and timestamp jump to the
+        frontier and normal predicate-J delivery resumes from there.
+        """
+        self._require_up()
+        self.shed_pending()
+        for register, value in values.items():
+            if register in self.store:
+                self.store[register] = value
+        self.timestamp = timestamp
+        self._note_timestamp()
+        self._value_debt.update(value_debt)
+        self.metrics.syncs += 1
+        if not self._paused:
+            self._drain()
+
+    @property
+    def value_debt(self) -> Dict[RegisterName, UpdateId]:
+        """Registers whose value awaits the debt update's retransmission."""
+        return dict(self._value_debt)
 
     # ------------------------------------------------------------------
     # Pause / resume and snapshots (crash-recovery support)

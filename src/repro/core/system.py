@@ -82,6 +82,15 @@ class SystemMetrics:
     applied_remote: int
     pending_high_water: int
     mean_apply_delay: float
+    # Robustness counters (all zero on fault-free runs without the
+    # anti-entropy layer; defaulted so older callers are unaffected).
+    syncs: int = 0
+    updates_shed: int = 0
+    stale_discarded: int = 0
+    unacked_high_water: int = 0
+    retransmit_log_compacted: int = 0
+    retransmit_log_compacted_bytes: int = 0
+    retransmit_log_truncated: int = 0
 
     @property
     def total_counters(self) -> int:
@@ -133,6 +142,7 @@ class DSMSystem:
         track_timestamps: bool = False,
         on_apply: Optional[ApplyHook] = None,
         fault_plan: Optional[FaultPlan] = None,
+        unacked_cap: Optional[int] = None,
     ) -> None:
         self.graph = (
             placements
@@ -146,8 +156,14 @@ class DSMSystem:
                 delay_model=delay_model,
                 plan=fault_plan,
                 always_on=True,
+                unacked_cap=unacked_cap,
             )
         else:
+            if unacked_cap is not None:
+                raise ConfigurationError(
+                    "unacked_cap bounds the reliable layer's retransmit "
+                    "log: it requires a fault_plan"
+                )
             self.network = Network(self.simulator, delay_model=delay_model)
         self.history = History()
         dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {
@@ -274,6 +290,7 @@ class DSMSystem:
         delay_count = sum(
             r.metrics.applied_remote for r in self.replicas.values()
         )
+        stats = self.network.stats
         return SystemMetrics(
             timestamp_counters={
                 rid: r.policy.counters() for rid, r in self.replicas.items()
@@ -291,6 +308,17 @@ class DSMSystem:
                 default=0,
             ),
             mean_apply_delay=delay_total / delay_count if delay_count else 0.0,
+            syncs=sum(r.metrics.syncs for r in self.replicas.values()),
+            updates_shed=sum(
+                r.metrics.updates_shed for r in self.replicas.values()
+            ),
+            stale_discarded=sum(
+                r.metrics.stale_discarded for r in self.replicas.values()
+            ),
+            unacked_high_water=stats.unacked_high_water,
+            retransmit_log_compacted=stats.retransmit_log_compacted,
+            retransmit_log_compacted_bytes=stats.retransmit_log_compacted_bytes,
+            retransmit_log_truncated=stats.retransmit_log_truncated,
         )
 
     def __repr__(self) -> str:

@@ -42,13 +42,21 @@ SCHEMA = "repro-bench/1"
 
 @dataclass(frozen=True)
 class Scenario:
-    """One benchmark case: a topology family plus a write workload."""
+    """One benchmark case: a topology family plus a write workload.
+
+    ``fault=True`` runs the scenario over lossy channels with the full
+    reliable-delivery layer armed (seeded plan, so the event sequence --
+    and therefore the memory high-water marks -- are identical on every
+    machine).  This prices the ARQ envelope/ack/retransmit overhead and
+    gives the regression gate a retransmit-log high-water to bound.
+    """
 
     name: str
     placements: Callable[[], Mapping]
     writes: int
     rate: float
     quick_writes: int
+    fault: bool = False
 
     def build_system(
         self, policy_factory: Optional[PolicyFactory] = None
@@ -56,6 +64,12 @@ class Scenario:
         kwargs = {}
         if policy_factory is not None:
             kwargs["policy_factory"] = policy_factory
+        if self.fault:
+            from repro.network.faults import ChannelFaults, FaultPlan
+
+            kwargs["fault_plan"] = FaultPlan(
+                seed=7, default=ChannelFaults(loss=0.05, duplication=0.04)
+            )
         return DSMSystem(self.placements(), seed=7, **kwargs)
 
 
@@ -83,6 +97,14 @@ SCENARIOS: Dict[str, Scenario] = {
             150.0,
             300,
         ),
+        Scenario(
+            "faulty-12",
+            lambda: ring_placements(12),
+            1200,
+            50.0,
+            200,
+            fault=True,
+        ),
     ]
 }
 
@@ -102,6 +124,7 @@ class BenchResult:
     events_per_s: float
     messages: int
     pending_high_water: int
+    unacked_high_water: int = 0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -112,6 +135,7 @@ class BenchResult:
             "events_per_s": round(self.events_per_s, 1),
             "messages": self.messages,
             "pending_high_water": self.pending_high_water,
+            "unacked_high_water": self.unacked_high_water,
         }
 
 
@@ -156,6 +180,7 @@ def run_scenario(
             events_per_s=system.simulator.events_executed / wall,
             messages=metrics.messages_sent,
             pending_high_water=metrics.pending_high_water,
+            unacked_high_water=metrics.unacked_high_water,
         )
         if best is None or result.wall_s < best.wall_s:
             best = result
@@ -230,11 +255,18 @@ def check_regression(
     committed: Mapping[str, object],
     tolerance: float = 0.30,
 ) -> RegressionReport:
-    """Fail when any scenario's ops/sec dropped more than ``tolerance``.
+    """Fail when any scenario's ops/sec dropped more than ``tolerance``,
+    or when a memory high-water mark grew past its ceiling.
 
     Scenarios present in only one document are reported but not failed
     (the matrix may grow between commits).  Only the ``optimized``
     sections are compared -- the baseline exists for speedup context.
+
+    The memory gate compares the deterministic per-scenario high-water
+    marks (pending buffers, retransmit logs): the workload and all fault
+    decisions are seeded, so these numbers are machine-independent, and a
+    ceiling of ``max(2 * ref, ref + 8)`` flags genuine buffering
+    regressions while leaving room for benign protocol changes.
     """
     report = RegressionReport()
     now: Mapping[str, Mapping[str, float]] = current.get("optimized", {})  # type: ignore[assignment]
@@ -256,6 +288,21 @@ def check_regression(
                 f"{name}: {got:.0f} < {floor:.0f} ops/s "
                 f"({tolerance:.0%} below committed {want:.0f})"
             )
+        for metric in ("pending_high_water", "unacked_high_water"):
+            if metric not in ref[name]:
+                continue  # older committed document: no baseline to gate on
+            got_hw = int(now[name].get(metric, 0))
+            want_hw = int(ref[name][metric])
+            ceiling = max(2 * want_hw, want_hw + 8)
+            if got_hw > ceiling:
+                report.lines.append(
+                    f"  {name}: {metric} {got_hw} vs committed {want_hw} "
+                    f"(ceiling {ceiling}) -> MEMORY REGRESSION"
+                )
+                report.failures.append(
+                    f"{name}: {metric} {got_hw} > ceiling {ceiling} "
+                    f"(committed {want_hw})"
+                )
     return report
 
 
@@ -268,14 +315,18 @@ def render(doc: Mapping[str, object]) -> str:
         f"protocol bench ({doc.get('mode')}, best of {doc.get('repeats')}, "
         f"{doc.get('timer')})"
     ]
-    header = f"{'scenario':<10} {'ops/s':>9} {'events/s':>10} {'msgs':>8} {'pend_hw':>8}"
+    header = (
+        f"{'scenario':<10} {'ops/s':>9} {'events/s':>10} {'msgs':>8} "
+        f"{'pend_hw':>8} {'unack_hw':>9}"
+    )
     if baseline:
         header += f" {'base ops/s':>11} {'speedup':>8}"
     lines.append(header)
     for name, row in optimized.items():
         line = (
             f"{name:<10} {row['ops_per_s']:>9.0f} {row['events_per_s']:>10.0f} "
-            f"{row['messages']:>8} {row['pending_high_water']:>8}"
+            f"{row['messages']:>8} {row['pending_high_water']:>8} "
+            f"{row.get('unacked_high_water', 0):>9}"
         )
         if name in baseline:
             line += (

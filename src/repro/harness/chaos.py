@@ -14,26 +14,54 @@ the weakened fault model:
   layer drains: the run quiesces and every update reaches every replica
   that stores its register;
 * **conservation** -- the transport's physical/logical accounting
-  invariants hold (:meth:`NetworkStats.assert_consistent`).
+  invariants hold (:meth:`NetworkStats.assert_consistent`);
+* **bounded memory throughout** -- when the spec caps the pending
+  buffers or retransmit logs, their high-water marks never exceed the
+  caps at any point of the run.
 
 A *campaign* sweeps a trial across many seeds.  Everything is derived
 deterministically from the trial seed (fault decisions, crash schedule,
 workload), so any failure line like ``seed=17`` is replayable verbatim
-with :func:`run_chaos_trial`.
+with :func:`run_chaos_trial` -- and with ``python -m repro chaos
+--scenario ... --seed N --verbose``, which replays the single trial and
+prints its event timeline.
+
+Robustness scenarios
+--------------------
+Beyond the classic loss/dup/crash sweep, a spec may add *blackout
+partitions* (every physical copy on a cut channel is dropped for the
+whole episode) and *slow replicas* (a replica stops applying for a
+window while its buffers fill).  Combined with finite ``pending_cap`` /
+``unacked_cap`` these scenarios exceed what retransmission alone can
+recover -- the truncated retransmit logs have lost data for good -- and
+are only passable with the anti-entropy layer (``sync=True``,
+:class:`repro.sync.SyncManager`) enabled.  :func:`long_partition_spec`
+and :func:`slow_replica_spec` are the tuned presets the CI jobs run both
+ways: sync off must fail, sync on must pass.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import AbstractSet, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    AbstractSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.share_graph import ShareGraph
 from repro.core.system import DSMSystem
 from repro.errors import ConfigurationError, ProtocolError
 from repro.network.faults import ChannelFaults, FaultPlan
+from repro.network.partitions import Partition, split_channels
 from repro.types import RegisterName, ReplicaId
 from repro.workloads.operations import uniform_writes
+from repro.workloads.topologies import fig5_placements
 
 
 # ----------------------------------------------------------------------
@@ -59,6 +87,38 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class SlowWindow:
+    """A replica that stops applying during ``[start, end)``.
+
+    The replica keeps receiving (its pending buffer fills) and keeps
+    serving writes; it just never drains.  With a ``pending_cap`` this is
+    the canonical backpressure scenario: the buffer hits the cap, is
+    shed, refills from retransmission, is shed again -- progress requires
+    state transfer.
+    """
+
+    start: float
+    end: float
+    replica: ReplicaId
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ConfigurationError("slow window needs start < end")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One annotated occurrence in a trial's replay timeline."""
+
+    time: float
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:9.2f}  {self.kind:<10} {self.detail}"
+
+
+@dataclass(frozen=True)
 class ChaosSpec:
     """Parameters of one chaos trial (everything except the seed).
 
@@ -66,6 +126,15 @@ class ChaosSpec:
     trial from the trial seed; pass an explicit tuple for a fixed
     schedule.  ``horizon`` is the fault horizon: loss/duplication stop
     there, and derived crash windows are placed well inside it.
+
+    The robustness fields (``partitions``, ``slow``, ``pending_cap``,
+    ``gap_threshold``, ``unacked_cap``, ``sync``) all default off; a spec
+    that leaves them off runs the exact classic PR-1 trial, event for
+    event.  With any of them on, the trial runs in *bounded* mode: caps
+    are asserted as invariants, and the post-horizon drain runs under an
+    event budget (``drain_budget``) because a system that lost data to a
+    truncated log never quiesces on its own -- that non-quiescence is the
+    failure the sync layer exists to prevent.
     """
 
     placements: Union[ShareGraph, Mapping[ReplicaId, AbstractSet[RegisterName]]]
@@ -77,12 +146,37 @@ class ChaosSpec:
     crash_count: int = 2
     crashes: Optional[Tuple[CrashEvent, ...]] = None
     checkpoints: int = 4
+    partitions: Tuple[Partition, ...] = ()
+    slow: Tuple[SlowWindow, ...] = ()
+    pending_cap: Optional[int] = None
+    gap_threshold: Optional[int] = None
+    unacked_cap: Optional[int] = None
+    sync: bool = False
+    sync_delay: float = 1.0
+    drain_budget: int = 400_000
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ConfigurationError("need horizon > 0")
         if self.crash_count < 0 or self.checkpoints < 0:
             raise ConfigurationError("need crash_count, checkpoints >= 0")
+        if self.pending_cap is not None and self.pending_cap < 1:
+            raise ConfigurationError("need pending_cap >= 1")
+        if self.gap_threshold is not None and self.gap_threshold < 1:
+            raise ConfigurationError("need gap_threshold >= 1")
+        if self.drain_budget < 1:
+            raise ConfigurationError("need drain_budget >= 1")
+
+    @property
+    def bounded(self) -> bool:
+        """True when any robustness feature changes the trial shape."""
+        return bool(
+            self.partitions
+            or self.slow
+            or self.sync
+            or self.pending_cap is not None
+            or self.unacked_cap is not None
+        )
 
     def graph(self) -> ShareGraph:
         p = self.placements
@@ -137,6 +231,15 @@ class TrialResult:
     duplicates_injected: int
     retransmits: int
     messages_delivered: int
+    # Robustness counters (zero in classic trials).
+    syncs: int = 0
+    updates_shed: int = 0
+    stale_discarded: int = 0
+    snapshot_bytes: int = 0
+    pending_high_water: int = 0
+    unacked_high_water: int = 0
+    log_truncated: int = 0
+    log_compacted: int = 0
 
     @property
     def ok(self) -> bool:
@@ -144,12 +247,22 @@ class TrialResult:
 
     def __str__(self) -> str:
         verdict = "ok" if self.ok else "FAIL " + "; ".join(self.failures)
-        return (
+        line = (
             f"seed={self.seed}: {verdict} "
             f"(writes={self.writes_issued}, crashes={len(self.crashes)}, "
             f"dropped={self.messages_dropped}, dup={self.duplicates_injected}, "
             f"retrans={self.retransmits})"
         )
+        if self.syncs or self.updates_shed or self.log_truncated:
+            line += (
+                f" [syncs={self.syncs}, shed={self.updates_shed}, "
+                f"stale={self.stale_discarded}, "
+                f"pending_hw={self.pending_high_water}, "
+                f"unacked_hw={self.unacked_high_water}, "
+                f"truncated={self.log_truncated}, "
+                f"compacted={self.log_compacted}]"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -185,12 +298,19 @@ class CampaignReport:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
+def run_chaos_trial(
+    spec: ChaosSpec,
+    seed: int,
+    timeline: Optional[List[TimelineEvent]] = None,
+) -> TrialResult:
     """Run one fully deterministic chaos trial.
 
     The same ``(spec, seed)`` pair always produces the same trial: the
     fault plan, crash schedule, workload, and delay sampling are all
-    seeded from it.
+    seeded from it.  ``timeline``, when given, collects an annotated
+    replay of the trial's fault and recovery events (the ``--verbose``
+    view of the CLI); recording is outside the simulation, so a traced
+    trial is event-identical to an untraced one.
     """
     graph = spec.graph()
     crashes = (
@@ -202,8 +322,41 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
         seed=seed,
         default=ChannelFaults(loss=spec.loss, duplication=spec.duplication),
         horizon=spec.horizon,
+        blackouts=spec.partitions,
     )
-    system = DSMSystem(graph, seed=seed, fault_plan=plan)
+    system = DSMSystem(
+        graph, seed=seed, fault_plan=plan, unacked_cap=spec.unacked_cap
+    )
+
+    def note(kind: str, detail: str, at: Optional[float] = None) -> None:
+        if timeline is not None:
+            now = system.simulator.now if at is None else at
+            timeline.append(TimelineEvent(now, kind, detail))
+
+    manager = None
+    if spec.sync:
+        from repro.sync import SyncManager
+
+        manager = SyncManager(
+            system,
+            pending_cap=spec.pending_cap,
+            gap_threshold=spec.gap_threshold,
+            sync_delay=spec.sync_delay,
+            trace=(
+                (lambda now, kind, detail: note(kind, detail, at=now))
+                if timeline is not None
+                else None
+            ),
+        )
+    elif spec.pending_cap is not None or spec.gap_threshold is not None:
+        # Bounded buffers *without* recovery: shedding and gap detection
+        # run, but escalation goes nowhere.  This is the ablation the
+        # fail-without-sync scenarios exercise.
+        for replica in system.replicas.values():
+            replica.pending_cap = spec.pending_cap
+            replica.gap_threshold = spec.gap_threshold
+            replica.on_sync_needed = lambda rid, reason: None
+
     stream = uniform_writes(
         graph, spec.writes, rate=spec.write_rate, seed=seed + 1
     )
@@ -217,10 +370,24 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
     for crash in crashes:
         system.schedule_crash(crash.time, crash.replica)
         system.schedule_recover(crash.recover_at, crash.replica)
+        note("schedule", f"crash {crash.replica!r} at t={crash.time:.1f}, "
+             f"recover at t={crash.recover_at:.1f}", at=0.0)
+    for window in spec.slow:
+        slow_replica = system.replica(window.replica)
+        system.simulator.schedule_at(window.start, slow_replica.pause)
+        system.simulator.schedule_at(window.end, slow_replica.resume)
+        note("schedule", f"slow {window.replica!r} during "
+             f"[{window.start:.1f}, {window.end:.1f})", at=0.0)
+    for partition in spec.partitions:
+        note("schedule", f"blackout of {len(partition.channels)} channels "
+             f"during [{partition.start:.1f}, {partition.end:.1f})", at=0.0)
 
     failures: List[str] = []
     fault_end = max(
-        [spec.horizon] + [c.recover_at for c in crashes]
+        [spec.horizon]
+        + [c.recover_at for c in crashes]
+        + [p.end for p in spec.partitions]
+        + [w.end for w in spec.slow]
     )
     # Safety checkpoints while faults are still active.
     checked = 0
@@ -229,6 +396,11 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
         system.run(until=at)
         mid = system.check(require_liveness=False)
         checked += 1
+        note(
+            "checkpoint",
+            f"safety {'ok' if not (mid.safety or mid.session) else 'VIOLATED'}"
+            f" ({mid.applies_checked} applies checked)",
+        )
         if mid.safety or mid.session:
             failures.append(
                 f"safety violated at checkpoint t={at:.1f}: "
@@ -236,8 +408,19 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
             )
             break
     # Drain: after the horizon no faults are injected and every replica
-    # is up, so the ARQ layer must deliver everything.
-    system.run()
+    # is up, so the ARQ layer must deliver everything.  A bounded trial
+    # may have truncated retransmit logs whose survivors retransmit
+    # forever without ever being deliverable -- its agenda never dries --
+    # so the drain runs under an event budget, with a final reconcile
+    # sweep for the sync layer first.
+    if spec.bounded:
+        system.run(until=fault_end)
+        if manager is not None:
+            installed = manager.reconcile()
+            note("reconcile", f"{installed} updates installed")
+        system.run(max_events=spec.drain_budget)
+    else:
+        system.run()
     if not system.quiescent():
         failures.append("did not quiesce after the fault horizon")
     final = system.check(require_liveness=True)
@@ -249,6 +432,30 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
     except ProtocolError as exc:
         failures.append(f"stats inconsistent: {exc}")
     stats = system.network.stats
+    metrics = system.metrics()
+    # Bounded memory throughout: the high-water marks are recorded at
+    # every enqueue/send, so comparing them against the caps proves the
+    # bound held at all times, not just at the end.
+    if (
+        spec.pending_cap is not None
+        and metrics.pending_high_water > spec.pending_cap
+    ):
+        failures.append(
+            f"pending buffer exceeded its cap: high water "
+            f"{metrics.pending_high_water} > {spec.pending_cap}"
+        )
+    if (
+        spec.unacked_cap is not None
+        and metrics.unacked_high_water > spec.unacked_cap
+    ):
+        failures.append(
+            f"retransmit log exceeded its cap: high water "
+            f"{metrics.unacked_high_water} > {spec.unacked_cap}"
+        )
+    note(
+        "verdict",
+        "ok" if not failures else "FAIL " + "; ".join(failures),
+    )
     return TrialResult(
         seed=seed,
         failures=tuple(failures),
@@ -260,6 +467,14 @@ def run_chaos_trial(spec: ChaosSpec, seed: int) -> TrialResult:
         duplicates_injected=stats.duplicates_injected,
         retransmits=stats.retransmits,
         messages_delivered=stats.messages_delivered,
+        syncs=metrics.syncs,
+        updates_shed=metrics.updates_shed,
+        stale_discarded=metrics.stale_discarded,
+        snapshot_bytes=manager.stats.snapshot_bytes if manager else 0,
+        pending_high_water=metrics.pending_high_water,
+        unacked_high_water=metrics.unacked_high_water,
+        log_truncated=metrics.retransmit_log_truncated,
+        log_compacted=metrics.retransmit_log_compacted,
     )
 
 
@@ -270,3 +485,69 @@ def run_chaos_campaign(
     return CampaignReport(
         spec=spec, trials=tuple(run_chaos_trial(spec, s) for s in seeds)
     )
+
+
+# ----------------------------------------------------------------------
+# Tuned robustness presets (CI runs these with sync on AND off)
+# ----------------------------------------------------------------------
+def long_partition_spec(sync: bool = True) -> ChaosSpec:
+    """A long two-sided blackout that overflows the retransmit caps.
+
+    Replicas {1, 2} and {3, 4} of the Figure 5 topology are split for
+    most of the write phase; every cross-side physical copy is dropped.
+    The cross-side retransmit logs exceed ``unacked_cap`` and truncate,
+    so after the heal the dropped prefixes exist *only* in the far side's
+    applied state.  Without sync the survivors retransmit forever against
+    an unfillable gap (no quiescence, liveness violations); with sync the
+    gap signal triggers a state transfer and the run converges.
+    """
+    return ChaosSpec(
+        placements=fig5_placements(),
+        loss=0.05,
+        duplication=0.05,
+        writes=120,
+        write_rate=1.0,
+        horizon=300.0,
+        crash_count=0,
+        checkpoints=3,
+        partitions=(
+            Partition(30.0, 220.0, split_channels({1, 2}, {3, 4})),
+        ),
+        pending_cap=16,
+        gap_threshold=3,
+        unacked_cap=4,
+        sync=sync,
+    )
+
+
+def slow_replica_spec(sync: bool = True) -> ChaosSpec:
+    """A replica that stops applying while its peers keep writing.
+
+    Replica 4 (the highest-degree node of Figure 5) pauses for a long
+    window.  Its pending buffer hits ``pending_cap`` and is shed
+    (rolling the channel state back), its senders' unacked logs grow past
+    ``unacked_cap`` and truncate -- at which point retransmission alone
+    can no longer reconstruct the prefix.  Sync escalation (overflow
+    signal) recovers it; without sync the trial fails.
+    """
+    return ChaosSpec(
+        placements=fig5_placements(),
+        loss=0.02,
+        duplication=0.02,
+        writes=100,
+        write_rate=1.0,
+        horizon=300.0,
+        crash_count=0,
+        checkpoints=3,
+        slow=(SlowWindow(20.0, 180.0, 4),),
+        pending_cap=10,
+        gap_threshold=3,
+        unacked_cap=4,
+        sync=sync,
+    )
+
+
+SCENARIOS = {
+    "long-partition": long_partition_spec,
+    "slow-replica": slow_replica_spec,
+}

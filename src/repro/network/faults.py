@@ -40,7 +40,17 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import (
     ConfigurationError,
@@ -48,6 +58,7 @@ from repro.errors import (
     UnknownDestinationError,
 )
 from repro.network.delays import DelayModel
+from repro.network.partitions import Partition
 from repro.network.transport import Network
 from repro.sim.kernel import EventHandle, Simulator
 from repro.types import Edge, ReplicaId
@@ -101,6 +112,15 @@ class FaultPlan:
     horizon:
         Virtual time after which the plan injects no faults
         (default: never stops).
+    blackouts:
+        :class:`~repro.network.partitions.Partition` episodes during which
+        every physical copy crossing a cut channel is *dropped* (data,
+        duplicates, and acks alike).  Unlike the hold-and-release
+        :class:`~repro.network.partitions.PartitionSchedule` delay model,
+        a blackout models a real outage: nothing survives the window, and
+        recovering what was lost is the reliability/anti-entropy layers'
+        job.  Blackout decisions are deterministic (no RNG draw), so
+        adding one never perturbs the loss/duplication sampling sequence.
     """
 
     def __init__(
@@ -109,11 +129,15 @@ class FaultPlan:
         default: ChannelFaults = ChannelFaults(),
         per_channel: Optional[Mapping[Edge, ChannelFaults]] = None,
         horizon: float = math.inf,
+        blackouts: Sequence[Partition] = (),
     ) -> None:
         self.seed = seed
         self.default = default
         self.per_channel: Dict[Edge, ChannelFaults] = dict(per_channel or {})
         self.horizon = horizon
+        self.blackouts: Tuple[Partition, ...] = tuple(
+            sorted(blackouts, key=lambda b: (b.start, b.end))
+        )
         self._rng = random.Random(seed)
 
     def faults_for(self, src: ReplicaId, dst: ReplicaId) -> ChannelFaults:
@@ -122,17 +146,29 @@ class FaultPlan:
     @property
     def trivial(self) -> bool:
         """True when the plan can never inject a fault."""
-        return self.default.trivial and all(
-            f.trivial for f in self.per_channel.values()
+        return (
+            not self.blackouts
+            and self.default.trivial
+            and all(f.trivial for f in self.per_channel.values())
         )
 
+    def blacked_out(self, src: ReplicaId, dst: ReplicaId, now: float) -> bool:
+        """True when a blackout episode currently cuts ``src -> dst``."""
+        return any(b.cuts(src, dst, now) for b in self.blackouts)
+
     def drops(self, src: ReplicaId, dst: ReplicaId, now: float) -> bool:
+        if self.blackouts and self.blacked_out(src, dst, now):
+            return True
         faults = self.faults_for(src, dst)
         if faults.loss == 0.0 or now >= self.horizon:
             return False
         return self._rng.random() < faults.loss
 
     def duplicates(self, src: ReplicaId, dst: ReplicaId, now: float) -> bool:
+        # No duplicates inside a blackout: injected copies bypass the
+        # later drop check, so one would leak through the outage.
+        if self.blackouts and self.blacked_out(src, dst, now):
+            return False
         faults = self.faults_for(src, dst)
         if faults.duplication == 0.0 or now >= self.horizon:
             return False
@@ -145,13 +181,15 @@ class FaultPlan:
             default=self.default,
             per_channel=self.per_channel,
             horizon=self.horizon,
+            blackouts=self.blackouts,
         )
 
     def __repr__(self) -> str:
         return (
             f"FaultPlan(seed={self.seed}, loss={self.default.loss}, "
             f"dup={self.default.duplication}, "
-            f"{len(self.per_channel)} overrides, horizon={self.horizon})"
+            f"{len(self.per_channel)} overrides, horizon={self.horizon}, "
+            f"{len(self.blackouts)} blackouts)"
         )
 
 
@@ -277,6 +315,16 @@ class ReliableNetwork(FaultyNetwork):
     max_attempts:
         ``None`` (default) retries until acked; a bound makes the sender
         raise :class:`~repro.errors.RetryExhaustedError` instead.
+    unacked_cap:
+        Hard bound on each directed channel's retransmit log.  When a send
+        would exceed it, the *oldest* unacked entries are dropped (their
+        timers cancelled) down to the cap -- the newest entries keep
+        retransmitting, so after an outage heals the receiver observes the
+        sequence gap and can escalate to state transfer
+        (:mod:`repro.sync`).  Without an anti-entropy layer a truncated
+        channel has lost data for good: the chaos harness demonstrates the
+        resulting liveness failure.  ``None`` (default) keeps the log
+        unbounded, the PR-1 behaviour.
     always_on:
         Run the full ARQ machinery even under a trivial plan (needed when
         only crash faults are injected).
@@ -299,6 +347,7 @@ class ReliableNetwork(FaultyNetwork):
         backoff: float = 2.0,
         max_rto: float = 64.0,
         max_attempts: Optional[int] = None,
+        unacked_cap: Optional[int] = None,
         always_on: bool = False,
         raw_nodes: Iterable[ReplicaId] = (),
     ) -> None:
@@ -310,11 +359,14 @@ class ReliableNetwork(FaultyNetwork):
             )
         if rto <= 0 or backoff < 1.0 or max_rto < rto:
             raise ConfigurationError("need rto > 0, backoff >= 1, max_rto >= rto")
+        if unacked_cap is not None and unacked_cap < 1:
+            raise ConfigurationError("need unacked_cap >= 1")
         self.ack_policy = ack_policy
         self.rto = rto
         self.backoff = backoff
         self.max_rto = max_rto
         self.max_attempts = max_attempts
+        self.unacked_cap = unacked_cap
         self.raw_nodes = frozenset(raw_nodes)
         self._armed = always_on or not self.plan.trivial
         self._out: Dict[Edge, _OutChannel] = {}
@@ -385,14 +437,42 @@ class ReliableNetwork(FaultyNetwork):
         channel.unacked[seq] = pending
         delay = self._transmit(src, dst, segment)
         self._arm_timer(src, dst, pending)
+        if (
+            self.unacked_cap is not None
+            and len(channel.unacked) > self.unacked_cap
+        ):
+            self._truncate_log(channel)
+        self.stats.record_unacked_level(len(channel.unacked))
         return delay
+
+    def _truncate_log(self, channel: _OutChannel) -> None:
+        """Enforce ``unacked_cap``: drop the oldest entries, keep the newest.
+
+        The surviving (newest) entries keep retransmitting, so a receiver
+        that comes back observes the sequence gap left by the dropped
+        prefix -- the signal the anti-entropy layer turns into a state
+        transfer.  Dropping the newest instead would silence the channel
+        entirely and hide the loss.
+        """
+        overflow = len(channel.unacked) - self.unacked_cap
+        for seq in sorted(channel.unacked)[:overflow]:
+            pending = channel.unacked.pop(seq)
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self.stats.record_log_truncation(overflow)
 
     def _arm_timer(
         self, src: ReplicaId, dst: ReplicaId, pending: _PendingSegment
     ) -> None:
-        timeout = min(
-            self.rto * (self.backoff ** (pending.attempts - 1)), self.max_rto
-        )
+        # Past the point where the exponential reaches max_rto every
+        # timeout equals max_rto; clamping the exponent there keeps
+        # eternally retransmitting segments (truncated-log scenarios)
+        # from overflowing the float.
+        exponent = pending.attempts - 1
+        if self.backoff > 1.0:
+            saturated = math.log(self.max_rto / self.rto, self.backoff)
+            exponent = min(exponent, math.ceil(saturated))
+        timeout = min(self.rto * (self.backoff ** exponent), self.max_rto)
         timeout *= 1.0 + 0.1 * self.simulator.rng.random()  # jitter
         pending.timer = self.simulator.schedule(
             timeout, self._on_timeout, src, dst, pending.segment.seq
@@ -500,6 +580,83 @@ class ReliableNetwork(FaultyNetwork):
             del channel.volatile[found]
             channel.durable.add(found)
             self._send_ack(src, node, found)
+
+    # -- anti-entropy hooks (state-transfer layer) -----------------------
+    def rollback_volatile(self, node: ReplicaId) -> None:
+        """Roll back every undurable delivery into ``node``.
+
+        Called when the application sheds its pending buffer (backpressure
+        overflow): the shed segments become unseen at the channel layer,
+        so their senders' still-armed timers retransmit them later.
+        Crash does the same thing implicitly; this is the alive-node
+        variant.
+        """
+        for (src, dst), channel in self._in.items():
+            if dst == node:
+                channel.volatile.clear()
+
+    def sync_commit(
+        self,
+        node: ReplicaId,
+        covered: Callable[[ReplicaId, Any], bool],
+    ) -> int:
+        """Settle ``node``'s in-channels around an installed snapshot.
+
+        ``covered(src, payload)`` decides whether a delivered-but-unacked
+        segment is at or below the snapshot's per-sender frontier.  Covered
+        segments become durable and are acked (their content arrived via
+        the snapshot; the senders must stop retransmitting); the rest are
+        rolled back so retransmission re-delivers them against the new
+        frontier.  Returns the number of segments acked.
+        """
+        acked = 0
+        for (src, dst), channel in self._in.items():
+            if dst != node:
+                continue
+            for seq in [
+                s for s, p in channel.volatile.items() if covered(src, p)
+            ]:
+                del channel.volatile[seq]
+                channel.durable.add(seq)
+                self._send_ack(src, node, seq)
+                acked += 1
+            channel.volatile.clear()
+        return acked
+
+    def compact_retransmit_log(
+        self,
+        src: ReplicaId,
+        dst: ReplicaId,
+        covered: Callable[[Any], bool],
+        size_of: Optional[Callable[[Any], int]] = None,
+    ) -> int:
+        """Drop unacked ``src -> dst`` segments a snapshot frontier covers.
+
+        The destination installed a snapshot whose frontier supersedes
+        these segments, so retransmitting them is pure waste: the receiver
+        would discard each as stale and ack it one round-trip later.
+        Compaction reclaims the log immediately.  ``size_of(payload)``
+        estimates the reclaimed wire bytes for the accounting counters.
+        Returns the number of entries dropped.
+        """
+        channel = self._out.get((src, dst))
+        if channel is None:
+            return 0
+        reclaimed_bytes = 0
+        doomed = [
+            seq
+            for seq, pending in channel.unacked.items()
+            if covered(pending.segment.payload)
+        ]
+        for seq in doomed:
+            pending = channel.unacked.pop(seq)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            if size_of is not None:
+                reclaimed_bytes += size_of(pending.segment.payload)
+        if doomed:
+            self.stats.record_log_compaction(len(doomed), reclaimed_bytes)
+        return len(doomed)
 
     # -- crash / recovery ------------------------------------------------
     def crash(self, node: ReplicaId) -> None:

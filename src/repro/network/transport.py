@@ -75,6 +75,14 @@ class NetworkStats:
     acks_dropped: int = 0
     metadata_counters_sent: int = 0
     metadata_bytes_sent: int = 0
+    # Retransmit-log bookkeeping (anti-entropy layer): entries removed
+    # because a snapshot frontier covered them, the estimated payload
+    # bytes those entries held, entries force-truncated by ``unacked_cap``,
+    # and the largest per-channel retransmit log seen at any instant.
+    retransmit_log_compacted: int = 0
+    retransmit_log_compacted_bytes: int = 0
+    retransmit_log_truncated: int = 0
+    unacked_high_water: int = 0
     channels: Dict[Tuple[ReplicaId, ReplicaId], ChannelStats] = field(
         default_factory=dict
     )
@@ -130,6 +138,20 @@ class NetworkStats:
 
     def record_ack_drop(self) -> None:
         self.acks_dropped += 1
+
+    def record_log_compaction(self, entries: int, wire_bytes: int) -> None:
+        """``entries`` retransmit-log slots reclaimed by a frontier."""
+        self.retransmit_log_compacted += entries
+        self.retransmit_log_compacted_bytes += wire_bytes
+
+    def record_log_truncation(self, entries: int) -> None:
+        """``entries`` retransmit-log slots dropped by the hard cap."""
+        self.retransmit_log_truncated += entries
+
+    def record_unacked_level(self, level: int) -> None:
+        """Observe one channel's current retransmit-log depth."""
+        if level > self.unacked_high_water:
+            self.unacked_high_water = level
 
     @property
     def attempts(self) -> int:

@@ -1,0 +1,346 @@
+"""Anti-entropy state transfer between replicas.
+
+:class:`SyncManager` wires into an assembled
+:class:`~repro.core.system.DSMSystem` and turns two local signals --
+"this sender is far ahead of my delivery frontier" (gap) and "my pending
+buffer hit its cap" (overflow) -- into a *state transfer*: the lagging
+replica receives a causally consistent snapshot from the best-caught-up
+neighbour, installs it atomically, and resumes normal predicate-J
+delivery from the spliced frontier.
+
+The transfer path is deliberately end-to-end:
+
+1. compute the install set and per-sender frontiers from the *history*
+   (the same ground truth the checker replays, never protocol metadata);
+2. audit the install set with
+   :func:`repro.checker.frontier_closure_violations` -- a transfer that
+   would fabricate a safety violation fails loudly at the source;
+3. round-trip the snapshot through the wire codec
+   (:func:`repro.wire.encode_state_snapshot`), so snapshot bytes are
+   accounted and the installed state is exactly what the wire carries;
+4. settle the channel layer: covered volatile deliveries are acked
+   (:meth:`~repro.network.faults.ReliableNetwork.sync_commit`), covered
+   retransmit-log entries compacted
+   (:meth:`~repro.network.faults.ReliableNetwork.compact_retransmit_log`);
+5. install store + spliced timestamp + value debts at the replica.
+
+Requests are *debounced*: escalation signals fire from inside message
+handling, so the manager never transfers synchronously -- it schedules
+the transfer ``sync_delay`` later (modelling the request round-trip) and
+collapses repeated signals for the same replica into one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.system import DSMSystem
+from repro.errors import ProtocolError
+from repro.checker.check import frontier_closure_violations
+from repro.sync.snapshot import (
+    StateSnapshot,
+    delivery_frontiers,
+    install_mask,
+    spliced_timestamp,
+    value_debts,
+)
+from repro.types import ReplicaId
+from repro.wire.codec import (
+    canonical_edge_order,
+    decode_state_snapshot,
+    encode_state_snapshot,
+    timestamp_wire_bytes,
+)
+
+TraceHook = Callable[[float, str, str], None]
+
+
+@dataclass
+class SyncStats:
+    """Manager-level accounting for one run."""
+
+    requests: int = 0
+    transfers: int = 0
+    updates_installed: int = 0
+    snapshot_bytes: int = 0
+    skipped: int = 0  # requests that found no donor or no gain
+
+
+class SyncManager:
+    """Escalation-driven anti-entropy for one :class:`DSMSystem`.
+
+    Parameters
+    ----------
+    system:
+        The assembled system; every replica is wired on construction.
+    pending_cap:
+        Per-replica bound on the pending buffer.  Reaching it sheds the
+        buffer (channel state rolls back, nothing is lost) and escalates
+        here.  ``None`` disables backpressure.
+    gap_threshold:
+        Escalate when an arriving update's sender-edge sequence runs this
+        far ahead of the next deliverable one (the signature a truncated
+        retransmit log leaves behind).  ``None`` disables gap detection.
+    sync_delay:
+        Virtual-time latency between an escalation signal and the
+        transfer (request round-trip + snapshot construction).
+    trace:
+        Optional ``(now, kind, detail)`` hook; the chaos harness uses it
+        to build per-trial timelines.
+    """
+
+    def __init__(
+        self,
+        system: DSMSystem,
+        pending_cap: Optional[int] = None,
+        gap_threshold: Optional[int] = None,
+        sync_delay: float = 1.0,
+        trace: Optional[TraceHook] = None,
+    ) -> None:
+        self.system = system
+        self.sync_delay = sync_delay
+        self.trace = trace
+        self.stats = SyncStats()
+        self._scheduled: Set[ReplicaId] = set()
+        self._replica_by_name = {str(r): r for r in system.graph.replicas}
+        self._register_by_name = {str(x): x for x in system.graph.registers}
+        for replica in system.replicas.values():
+            replica.pending_cap = pending_cap
+            replica.gap_threshold = gap_threshold
+            replica.on_sync_needed = self._request
+
+    # ------------------------------------------------------------------
+    # Escalation entry point (called from inside Replica.on_message)
+    # ------------------------------------------------------------------
+    def _request(self, replica_id: ReplicaId, reason: str) -> None:
+        self.stats.requests += 1
+        self._trace(f"sync requested by {replica_id!r} ({reason})")
+        if replica_id in self._scheduled:
+            return
+        self._scheduled.add(replica_id)
+        self.system.simulator.schedule(
+            self.sync_delay, self._perform, replica_id, reason
+        )
+
+    def _perform(self, replica_id: ReplicaId, reason: str) -> None:
+        self._scheduled.discard(replica_id)
+        receiver = self.system.replicas[replica_id]
+        if receiver.crashed:
+            # Recovery will re-trigger escalation via the first stale or
+            # gapped retransmission it receives.
+            self.stats.skipped += 1
+            return
+        donor = self._pick_donor(replica_id)
+        if donor is None:
+            self.stats.skipped += 1
+            self._trace(f"no donor for {replica_id!r} ({reason})")
+            return
+        installed = self._transfer(donor, replica_id)
+        if installed == 0:
+            self.stats.skipped += 1
+
+    # ------------------------------------------------------------------
+    # Donor selection
+    # ------------------------------------------------------------------
+    def _pick_donor(self, receiver: ReplicaId) -> Optional[ReplicaId]:
+        """The reachable neighbour whose transfer installs the most."""
+        system = self.system
+        history = system.history
+        graph = system.graph
+        plan = getattr(system.network, "plan", None)
+        now = system.simulator.now
+        best: Optional[ReplicaId] = None
+        best_gain = 0
+        for donor in graph.neighbors(receiver):
+            if system.replicas[donor].crashed:
+                continue
+            if plan is not None and (
+                plan.blacked_out(donor, receiver, now)
+                or plan.blacked_out(receiver, donor, now)
+            ):
+                continue
+            gain = _popcount(install_mask(history, graph, donor, receiver))
+            if gain > best_gain or (
+                gain == best_gain and gain > 0 and str(donor) < str(best)
+            ):
+                best, best_gain = donor, gain
+        return best
+
+    # ------------------------------------------------------------------
+    # The transfer itself
+    # ------------------------------------------------------------------
+    def build_snapshot(
+        self, donor: ReplicaId, receiver: ReplicaId
+    ) -> StateSnapshot:
+        """Assemble (but do not install) a donor's snapshot for a receiver."""
+        system = self.system
+        history, graph = system.history, system.graph
+        donor_rep = system.replicas[donor]
+        receiver_rep = system.replicas[receiver]
+        mask = install_mask(history, graph, donor, receiver)
+        frontiers = delivery_frontiers(history, graph, donor, receiver)
+        store = tuple(
+            sorted(
+                (
+                    (x, v)
+                    for x, v in donor_rep.store.items()
+                    if x in receiver_rep.store
+                ),
+                key=lambda kv: str(kv[0]),
+            )
+        )
+        return StateSnapshot(
+            donor=donor,
+            receiver=receiver,
+            store=store,
+            timestamp=donor_rep.timestamp,
+            frontiers=tuple(sorted(frontiers.items(), key=lambda kv: str(kv[0]))),
+            install_mask=mask,
+        )
+
+    def _transfer(self, donor: ReplicaId, receiver: ReplicaId) -> int:
+        system = self.system
+        history, graph = system.history, system.graph
+        receiver_rep = system.replicas[receiver]
+        now = system.simulator.now
+        snapshot = self.build_snapshot(donor, receiver)
+        mask = snapshot.install_mask
+        if mask == 0:
+            self._trace(f"{donor!r} -> {receiver!r}: nothing to transfer")
+            return 0
+
+        # Defence in depth: the install set is constructed causally closed;
+        # verify against the history before touching any state.
+        violations = frontier_closure_violations(
+            history, graph, receiver, mask
+        )
+        if violations:
+            raise ProtocolError(
+                f"sync {donor!r} -> {receiver!r} would splice a causally "
+                f"open set: {violations[:3]!r}"
+            )
+
+        # Round-trip through the wire codec: the installed state is what
+        # the bytes carry, and the bytes are what accounting sees.
+        order = canonical_edge_order(snapshot.timestamp.index)
+        blob = encode_state_snapshot(
+            dict(snapshot.store),
+            snapshot.timestamp,
+            dict(snapshot.frontiers),
+            order,
+        )
+        store, donor_ts, frontiers = decode_state_snapshot(
+            blob, order, self._replica_by_name, self._register_by_name
+        )
+        self.stats.snapshot_bytes += len(blob)
+
+        new_ts = spliced_timestamp(
+            receiver_rep.timestamp, donor_ts, frontiers, receiver
+        )
+        merged_frontier: Dict[ReplicaId, int] = {}
+        for sender, frontier in frontiers.items():
+            own = receiver_rep.timestamp.get((sender, receiver))
+            if own is not None:
+                merged_frontier[sender] = max(own, frontier)
+
+        def covered(sender: ReplicaId, payload: Any) -> bool:
+            limit = merged_frontier.get(sender)
+            ts = getattr(payload, "timestamp", None)
+            if limit is None or ts is None:
+                return False
+            seq = ts.get((sender, receiver))
+            return seq is not None and seq <= limit
+
+        # Channel settlement must precede the install: installing sheds
+        # the pending buffer, which rolls the volatile channel state back
+        # -- after that there is nothing left to ack.
+        sync_commit = getattr(system.network, "sync_commit", None)
+        if sync_commit is not None:
+            sync_commit(receiver, covered)
+
+        # The history records the splice as ordinary applies, in global
+        # issue order -- a topological order of happened-before, so the
+        # checker replays the spliced prefix exactly like a lived one.
+        installed = 0
+        for uid in history.all_updates():
+            if history.bit_of(uid) & mask:
+                history.record_apply(receiver, uid, now)
+                installed += 1
+
+        debts = value_debts(
+            history,
+            mask,
+            {x for x, _ in snapshot.store},
+            receiver_rep.store,
+        )
+        receiver_rep.install_sync_state(new_ts, store, debts)
+
+        # The snapshot superseded every covered in-flight segment: compact
+        # the senders' retransmit logs so they stop paying for them.
+        compact = getattr(system.network, "compact_retransmit_log", None)
+        if compact is not None:
+            for sender in graph.neighbors(receiver):
+                compact(
+                    sender,
+                    receiver,
+                    lambda payload, s=sender: covered(s, payload),
+                    size_of=_payload_wire_bytes,
+                )
+
+        self.stats.transfers += 1
+        self.stats.updates_installed += installed
+        self._trace(
+            f"sync {donor!r} -> {receiver!r}: {installed} updates, "
+            f"{len(blob)} snapshot bytes"
+        )
+        return installed
+
+    # ------------------------------------------------------------------
+    # Convergence sweep (post-fault catch-up)
+    # ------------------------------------------------------------------
+    def reconcile(self) -> int:
+        """Transfer between every useful pair until no transfer helps.
+
+        Used by the harness after the fault horizon: replicas that shed
+        or missed updates whose senders' logs were truncated can only
+        converge via state transfer.  Each round installs at least one
+        update or stops, so termination is bounded by the total number of
+        issued updates.
+        """
+        system = self.system
+        graph = system.graph
+        total = 0
+        progress = True
+        while progress:
+            progress = False
+            for receiver in graph.replicas:
+                if system.replicas[receiver].crashed:
+                    continue
+                donor = self._pick_donor(receiver)
+                if donor is None:
+                    continue
+                installed = self._transfer(donor, receiver)
+                if installed:
+                    total += installed
+                    progress = True
+        return total
+
+    def _trace(self, detail: str) -> None:
+        if self.trace is not None:
+            self.trace(self.system.simulator.now, "sync", detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"SyncManager({self.stats.transfers} transfers, "
+            f"{self.stats.updates_installed} updates installed)"
+        )
+
+
+def _payload_wire_bytes(payload: Any) -> int:
+    ts = getattr(payload, "timestamp", None)
+    return timestamp_wire_bytes(ts) if ts is not None else 0
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")

@@ -8,8 +8,10 @@ effect of Appendix D compression.
 """
 
 from repro.wire.codec import (
+    decode_state_snapshot,
     decode_timestamp,
     decode_update,
+    encode_state_snapshot,
     encode_timestamp,
     encode_update,
     timestamp_wire_bytes,
@@ -17,8 +19,10 @@ from repro.wire.codec import (
 from repro.wire.varint import decode_uvarint, encode_uvarint
 
 __all__ = [
+    "decode_state_snapshot",
     "decode_timestamp",
     "decode_update",
+    "encode_state_snapshot",
     "encode_timestamp",
     "encode_update",
     "timestamp_wire_bytes",

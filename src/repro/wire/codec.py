@@ -12,7 +12,7 @@ This is deliberately schema-light: the experiments only need faithful
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from repro.core.timestamp import Timestamp
 from repro.errors import ProtocolError
@@ -140,6 +140,77 @@ def encode_update(update: Update, order: Sequence[Edge] = None) -> bytes:
     out += _encode_value(update.value)
     out += encode_timestamp(update.timestamp, order)
     return bytes(out)
+
+
+_sorted_by_name = lambda items: sorted(items, key=lambda kv: str(kv[0]))
+
+
+def encode_state_snapshot(
+    store: Mapping[Any, Any],
+    timestamp: Timestamp,
+    frontiers: Mapping[Any, int],
+    order: Sequence[Edge] = None,
+) -> bytes:
+    """Encode a causally consistent state snapshot for a sync transfer.
+
+    Carries the donor's register values, its timestamp, and the
+    per-sender delivery frontiers (highest sender-edge sequence the
+    snapshot covers on each incoming channel).  Like updates, snapshots
+    travel on channels whose endpoints know the edge order and the
+    replica/register name tables out of band -- only values and counters
+    go on the wire.
+
+    Layout: frontier count | (sender str, seq varint)* |
+    store count | (register str, value)* | timestamp.
+    """
+    if order is None:
+        order = canonical_edge_order(timestamp.index)
+    out = bytearray()
+    out += encode_uvarint(len(frontiers))
+    for sender, seq in _sorted_by_name(frontiers.items()):
+        out += _encode_value(str(sender))
+        out += encode_uvarint(seq)
+    out += encode_uvarint(len(store))
+    for register, value in _sorted_by_name(store.items()):
+        out += _encode_value(str(register))
+        out += _encode_value(value)
+    out += encode_timestamp(timestamp, order)
+    return bytes(out)
+
+
+def decode_state_snapshot(
+    data: bytes,
+    order: Sequence[Edge],
+    replica_names: Mapping[str, Any],
+    register_names: Mapping[str, Any],
+) -> Tuple[Dict[Any, Any], Timestamp, Dict[Any, int]]:
+    """Decode a snapshot against the shared edge order and name tables.
+
+    Replica and register identifiers travel as their string forms (the
+    codec is schema-light); the receiver maps them back through the
+    configuration tables every peer already holds.  Returns
+    ``(store, timestamp, frontiers)``.
+    """
+    count, offset = decode_uvarint(data, 0)
+    frontiers: Dict[Any, int] = {}
+    for _ in range(count):
+        name, offset = _decode_value(data, offset)
+        seq, offset = decode_uvarint(data, offset)
+        if name not in replica_names:
+            raise ProtocolError(f"snapshot names unknown replica {name!r}")
+        frontiers[replica_names[name]] = seq
+    count, offset = decode_uvarint(data, offset)
+    store: Dict[Any, Any] = {}
+    for _ in range(count):
+        name, offset = _decode_value(data, offset)
+        value, offset = _decode_value(data, offset)
+        if name not in register_names:
+            raise ProtocolError(f"snapshot names unknown register {name!r}")
+        store[register_names[name]] = value
+    ts, offset = decode_timestamp(data, order, offset)
+    if offset != len(data):
+        raise ProtocolError("trailing bytes in state snapshot")
+    return store, ts, frontiers
 
 
 def decode_update(
