@@ -256,6 +256,11 @@ class Replica:
         self._seq += 1
         uid = UpdateId(self.replica_id, self._seq)
         self.store[register] = value
+        # The local write supersedes any outstanding value debt on the
+        # register, exactly as a newer remote apply would (see _apply):
+        # a stale redelivery paying the debt later would roll the store
+        # back below this write.
+        self._value_debt.pop(register, None)
         before = self.timestamp
         if self._advance_delta is not None:
             self.timestamp, changed = self._advance_delta(before, register)
@@ -493,6 +498,11 @@ class Replica:
                     )
                 else:
                     self.store[register] = update.value
+                # This write supersedes any outstanding value debt on the
+                # register: were the debt paid later (a stale redelivery
+                # can arrive after this), it would roll the store back to
+                # the older value.
+                self._value_debt.pop(register, None)
         elif register not in self.dummy_registers:
             raise ProtocolError(
                 f"replica {self.replica_id!r} received update for "
@@ -593,6 +603,9 @@ class Replica:
         for register, value in values.items():
             if register in self.store:
                 self.store[register] = value
+                # A supplied value settles any older debt on the register
+                # (the sync manager only ships values at or above it).
+                self._value_debt.pop(register, None)
         self.timestamp = timestamp
         self._note_timestamp()
         self._value_debt.update(value_debt)
@@ -604,6 +617,19 @@ class Replica:
     def value_debt(self) -> Dict[RegisterName, UpdateId]:
         """Registers whose value awaits the debt update's retransmission."""
         return dict(self._value_debt)
+
+    def pay_value_debt(self, register: RegisterName, value: Any) -> None:
+        """Settle one value debt out-of-band (anti-entropy fallback).
+
+        Used by :meth:`repro.sync.SyncManager.settle_value_debts` when the
+        debt update's retransmission can never arrive (its segment was
+        truncated out of the sender's log): the value comes straight from
+        a register holder's store instead.
+        """
+        if register in self._value_debt:
+            if register in self.store:
+                self.store[register] = value
+            del self._value_debt[register]
 
     # ------------------------------------------------------------------
     # Pause / resume and snapshots (crash-recovery support)

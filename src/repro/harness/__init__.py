@@ -21,6 +21,7 @@ from repro.harness.chaos import (
     derive_crashes,
     run_chaos_campaign,
     run_chaos_trial,
+    store_divergence,
 )
 from repro.harness.report import Table
 from repro.harness.sweeps import (
@@ -47,4 +48,5 @@ __all__ = [
     "run_chaos_trial",
     "run_scenario",
     "run_summary",
+    "store_divergence",
 ]

@@ -17,7 +17,11 @@ the weakened fault model:
   invariants hold (:meth:`NetworkStats.assert_consistent`);
 * **bounded memory throughout** -- when the spec caps the pending
   buffers or retransmit logs, their high-water marks never exceed the
-  caps at any point of the run.
+  caps at any point of the run;
+* **store convergence at quiescence** -- the checker replays events,
+  not values, so each trial additionally audits the final stores
+  (:func:`store_divergence`): every replica storing a register holds
+  the causally-last written value, and no value debt is left unpaid.
 
 A *campaign* sweeps a trial across many seeds.  Everything is derived
 deterministically from the trial seed (fault decisions, crash schedule,
@@ -59,7 +63,7 @@ from repro.core.system import DSMSystem
 from repro.errors import ConfigurationError, ProtocolError
 from repro.network.faults import ChannelFaults, FaultPlan
 from repro.network.partitions import Partition, split_channels
-from repro.types import RegisterName, ReplicaId
+from repro.types import RegisterName, ReplicaId, UpdateId
 from repro.workloads.operations import uniform_writes
 from repro.workloads.topologies import fig5_placements
 
@@ -298,6 +302,82 @@ class CampaignReport:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+def store_divergence(
+    system: DSMSystem,
+    values_by_uid: Optional[Mapping[UpdateId, object]] = None,
+) -> List[str]:
+    """Final-state store audit the history replay cannot perform.
+
+    ``system.check`` replays issue/apply *events*; it never sees register
+    values, so a transfer that records an update as applied without ever
+    obtaining its value (a lost value debt) looks perfectly consistent to
+    it.  This audit closes that blind spot at quiescence:
+
+    * no replica may end with an outstanding value debt, and
+    * every replica storing a register must hold the value of its
+      causally-last write -- or, when the latest writes are concurrent
+      (plain causal memory does not converge them), the value of *some*
+      maximal write.
+
+    ``values_by_uid`` maps update ids to the written values (the driver
+    knows them; the history does not).  Registers whose maximal writes
+    are not all in the map get only the debt check.
+    """
+    history, graph = system.history, system.graph
+    values = values_by_uid or {}
+    out: List[str] = []
+    by_register: dict = {}
+    for uid in history.all_updates():
+        by_register.setdefault(history.updates[uid].register, []).append(uid)
+    for register in sorted(graph.registers, key=str):
+        writes = by_register.get(register)
+        if not writes:
+            continue
+        maxima = [
+            u
+            for u in writes
+            if not any(
+                history.bit_of(u) & history.past_mask_of(w)
+                for w in writes
+                if w is not u
+            )
+        ]
+        allowed = (
+            {values[u] for u in maxima}
+            if all(u in values for u in maxima)
+            else None
+        )
+        for rid in sorted(graph.replicas_storing(register), key=str):
+            replica = system.replicas[rid]
+            if replica.crashed or register not in replica.store:
+                continue
+            debt = replica.value_debt.get(register)
+            if debt is not None:
+                out.append(
+                    f"replica {rid!r} ended with an unpaid value debt on "
+                    f"{register!r} ({debt})"
+                )
+                continue
+            if allowed is None:
+                continue
+            actual = replica.store[register]
+            if len(maxima) == 1:
+                expected = next(iter(allowed))
+                if actual != expected:
+                    out.append(
+                        f"store diverged: replica {rid!r} holds "
+                        f"{register!r}={actual!r} but the causally-last "
+                        f"write {maxima[0]} wrote {expected!r}"
+                    )
+            elif actual not in allowed:
+                out.append(
+                    f"store diverged: replica {rid!r} holds "
+                    f"{register!r}={actual!r}, not the value of any "
+                    f"maximal concurrent write"
+                )
+    return out
+
+
 def run_chaos_trial(
     spec: ChaosSpec,
     seed: int,
@@ -361,11 +441,13 @@ def run_chaos_trial(
         graph, spec.writes, rate=spec.write_rate, seed=seed + 1
     )
     issued = skipped = 0
+    issued_ops: dict = {}  # per replica, in schedule (= issue) order
     for op in stream:
         if any(c.replica == op.replica and c.down_at(op.time) for c in crashes):
             skipped += 1  # a crashed replica serves no clients
             continue
         system.schedule_write(op.time, op.replica, op.register, op.value)
+        issued_ops.setdefault(op.replica, []).append(op)
         issued += 1
     for crash in crashes:
         system.schedule_crash(crash.time, crash.replica)
@@ -431,6 +513,16 @@ def run_chaos_trial(
         system.network.stats.assert_consistent()
     except ProtocolError as exc:
         failures.append(f"stats inconsistent: {exc}")
+    # Actual store convergence: the checker replays events, not values,
+    # so a value-losing transfer would pass it silently.  The driver
+    # knows every written value; compare the final stores against the
+    # causally-last writes and require every value debt settled.
+    values_by_uid: dict = {}
+    for rid, ops in issued_ops.items():
+        uids = system.history.updates_by(rid)
+        if len(uids) == len(ops):
+            values_by_uid.update(zip(uids, (op.value for op in ops)))
+    failures.extend(store_divergence(system, values_by_uid))
     stats = system.network.stats
     metrics = system.metrics()
     # Bounded memory throughout: the high-water marks are recorded at

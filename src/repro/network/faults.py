@@ -119,8 +119,11 @@ class FaultPlan:
         :class:`~repro.network.partitions.PartitionSchedule` delay model,
         a blackout models a real outage: nothing survives the window, and
         recovering what was lost is the reliability/anti-entropy layers'
-        job.  Blackout decisions are deterministic (no RNG draw), so
-        adding one never perturbs the loss/duplication sampling sequence.
+        job.  Blackout decisions themselves are deterministic (they
+        consume no randomness), but messages inside the window skip the
+        loss/duplication draws entirely -- so adding a blackout shifts
+        which RNG samples later messages see, and a plan is only
+        replayable against the same blackout schedule.
     """
 
     def __init__(

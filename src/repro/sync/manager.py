@@ -65,6 +65,7 @@ class SyncStats:
     updates_installed: int = 0
     snapshot_bytes: int = 0
     skipped: int = 0  # requests that found no donor or no gain
+    value_fetches: int = 0  # debts paid from a register holder's store
 
 
 class SyncManager:
@@ -244,10 +245,44 @@ class SyncManager:
             if own is not None:
                 merged_frontier[sender] = max(own, frontier)
 
+        # A snapshot store value may only land if the donor's history is
+        # at least as new as the receiver's on that register: the donor's
+        # value is the last write *it* applied, so if the receiver's own
+        # latest write (possibly still store-less -- an unpaid debt) is
+        # outside the donor's closure, adopting would regress the store
+        # below the receiver's applied frontier.  Dropped registers keep
+        # the receiver's value (and any debt) instead.
+        donor_closure = history.access_token(donor).closure
+        receiver_latest = _latest_store_writes(history, receiver)
+        safe_store = {}
+        for x, v in store.items():
+            r_latest = receiver_latest.get(x)
+            if r_latest is None or history.bit_of(r_latest) & donor_closure:
+                safe_store[x] = v
+
+        # Debts must be known *before* channel settlement: the segments
+        # that will pay them (the debt updates' own retransmissions) sit
+        # at or below the frontier and would otherwise be acked away here
+        # and compacted out of the senders' logs below -- making every
+        # debt permanently unpayable.  Registers the donor shipped but
+        # the receiver kept its own (concurrent) value for need no debt.
+        outstanding = receiver_rep.value_debt
+        debts = value_debts(history, mask, set(store), receiver_rep.store)
+        final_debts = dict(outstanding)
+        for x in safe_store:
+            final_debts.pop(x, None)
+        final_debts.update(debts)
+        protected = set(final_debts.values())
+
         def covered(sender: ReplicaId, payload: Any) -> bool:
             limit = merged_frontier.get(sender)
             ts = getattr(payload, "timestamp", None)
             if limit is None or ts is None:
+                return False
+            if getattr(payload, "uid", None) in protected:
+                # Carries a debt register's value: keep it unacked and in
+                # its sender's retransmit log so the stale redelivery can
+                # pay the debt (it is acked then, via confirm_applied).
                 return False
             seq = ts.get((sender, receiver))
             return seq is not None and seq <= limit
@@ -268,13 +303,7 @@ class SyncManager:
                 history.record_apply(receiver, uid, now)
                 installed += 1
 
-        debts = value_debts(
-            history,
-            mask,
-            {x for x, _ in snapshot.store},
-            receiver_rep.store,
-        )
-        receiver_rep.install_sync_state(new_ts, store, debts)
+        receiver_rep.install_sync_state(new_ts, safe_store, debts)
 
         # The snapshot superseded every covered in-flight segment: compact
         # the senders' retransmit logs so they stop paying for them.
@@ -324,7 +353,66 @@ class SyncManager:
                 if installed:
                     total += installed
                     progress = True
+        self.settle_value_debts()
         return total
+
+    def settle_value_debts(self) -> int:
+        """Pay outstanding value debts from register holders' stores.
+
+        A debt is normally paid by the debt update's own (stale)
+        retransmission -- but that segment may have been truncated out of
+        its sender's log by ``unacked_cap`` *before* the transfer, in
+        which case no redelivery will ever arrive.  The fallback source
+        is any reachable replica that stores the register and whose
+        latest write on it *is* the debt update: its store holds exactly
+        the owed value.  At the reconcile fixpoint such a holder always
+        exists (the debt update's issuer stores the register; had anyone
+        written it later, that newer write would have reached the
+        receiver -- by channel or by transfer -- and superseded the
+        debt), so reconciliation leaves no debt behind.
+        """
+        system = self.system
+        history, graph = system.history, system.graph
+        plan = getattr(system.network, "plan", None)
+        now = system.simulator.now
+        paid = 0
+        for receiver in graph.replicas:
+            receiver_rep = system.replicas[receiver]
+            if receiver_rep.crashed:
+                continue
+            for register, uid in sorted(
+                receiver_rep.value_debt.items(), key=lambda kv: str(kv[0])
+            ):
+                for holder in sorted(
+                    graph.replicas_storing(register), key=str
+                ):
+                    holder_rep = system.replicas[holder]
+                    if (
+                        holder == receiver
+                        or holder_rep.crashed
+                        or register not in holder_rep.store
+                        or register in holder_rep.value_debt
+                    ):
+                        continue
+                    if plan is not None and (
+                        plan.blacked_out(holder, receiver, now)
+                        or plan.blacked_out(receiver, holder, now)
+                    ):
+                        continue
+                    holder_latest = _latest_store_writes(history, holder)
+                    if holder_latest.get(register) != uid:
+                        continue
+                    receiver_rep.pay_value_debt(
+                        register, holder_rep.store[register]
+                    )
+                    paid += 1
+                    self.stats.value_fetches += 1
+                    self._trace(
+                        f"debt on {register!r} at {receiver!r} paid from "
+                        f"{holder!r} ({uid})"
+                    )
+                    break
+        return paid
 
     def _trace(self, detail: str) -> None:
         if self.trace is not None:
@@ -335,6 +423,21 @@ class SyncManager:
             f"SyncManager({self.stats.transfers} transfers, "
             f"{self.stats.updates_installed} updates installed)"
         )
+
+
+def _latest_store_writes(history: Any, replica: ReplicaId) -> Dict[Any, Any]:
+    """Per-register uid of the last write executed at ``replica``.
+
+    Walks the replica's issue/apply event sequence -- execution order,
+    which is what determines the store's current value -- not issue
+    order, under which concurrent writes are incomparable.
+    """
+    latest: Dict[Any, Any] = {}
+    for event in history.events:
+        if event.replica != replica or event.uid is None:
+            continue
+        latest[history.updates[event.uid].register] = event.uid
+    return latest
 
 
 def _payload_wire_bytes(payload: Any) -> int:

@@ -15,6 +15,7 @@ from repro.harness.chaos import (
     long_partition_spec,
     run_chaos_trial,
     slow_replica_spec,
+    store_divergence,
 )
 from repro.network import ChannelFaults, FaultPlan
 from repro.sync import SyncManager, delivery_frontiers, install_mask, spliced_timestamp
@@ -180,6 +181,122 @@ def test_scenario_presets_are_bounded():
         assert spec.bounded
         assert spec.pending_cap is not None
         assert spec.unacked_cap is not None
+
+
+# ----------------------------------------------------------------------
+# Value debts: the segments that pay them must survive settlement
+# ----------------------------------------------------------------------
+def _debt_system():
+    """Donor 1 {x,z} can cover 2's write y='V' for receiver 3 {y,z} only
+    as metadata (1 does not store y): the canonical value-debt shape."""
+    system = DSMSystem(
+        {1: {"x", "z"}, 2: {"x", "y"}, 3: {"y", "z"}},
+        seed=0,
+        fault_plan=FaultPlan(),
+    )
+    manager = SyncManager(system)
+    system.replica(3).pause()
+    system.replica(2).write("y", "V")   # replica 3 misses this
+    system.replica(2).write("x", "W")   # pulls y='V' into 1's closure
+    system.replica(1).write("z", "Z")   # gives the 1 -> 3 transfer gain
+    system.run(until=50.0)
+    return system, manager
+
+
+@pytest.mark.parametrize("shed_first", [False, True])
+def test_value_debt_segment_survives_settlement_and_pays(shed_first):
+    """Regression: the transfer used to ack (sync_commit path) or compact
+    (shed/crash path) the very segment whose stale retransmission pays
+    the debt, leaving replica 3 permanently diverged on y while the
+    history replay still passed.  The debt segment is now protected, so
+    the redelivery arrives, pays the debt, and is acked only then."""
+    system, manager = _debt_system()
+    r3 = system.replica(3)
+    if shed_first:
+        r3.shed_pending()  # volatile gone: only 2's retransmit log pays
+    installed = manager._transfer(1, 3)
+    assert installed == 2
+    y_uid = system.history.updates_by(2)[0]
+    assert r3.value_debt == {"y": y_uid}
+    r3.resume()
+    system.run()
+    assert system.quiescent()
+    assert r3.read("y") == "V"
+    assert r3.value_debt == {}
+    assert r3.metrics.stale_discarded >= 1
+    result = system.check(require_liveness=True)
+    assert result.ok, str(result)
+    assert store_divergence(system, {y_uid: "V"}) == []
+    system.network.stats.assert_consistent()
+
+
+def test_newer_write_supersedes_value_debt():
+    """A write on the debt register applied after the install settles the
+    debt, so a stale redelivery can never roll the store back."""
+    system, manager = _debt_system()
+    r3 = system.replica(3)
+    assert manager._transfer(1, 3) == 2
+    assert r3.value_debt
+    system.replica(2).write("y", "V2")  # above the spliced frontier
+    r3.resume()
+    system.run()
+    assert system.quiescent()
+    assert r3.read("y") == "V2"
+    assert r3.value_debt == {}
+    assert system.check(require_liveness=True).ok
+
+
+def test_value_debt_paid_from_holder_when_log_truncated():
+    """When ``unacked_cap`` truncation already dropped the debt segment
+    from the sender's log *before* the transfer, no redelivery can ever
+    pay it -- reconcile falls back to fetching the value from a replica
+    that stores the register (here the issuer itself)."""
+    system = DSMSystem(
+        {1: {"x", "z", "w"}, 2: {"x", "y", "w"}, 3: {"y", "z", "w"}},
+        seed=0,
+        fault_plan=FaultPlan(),
+        unacked_cap=1,
+    )
+    manager = SyncManager(system)
+    r3 = system.replica(3)
+    r3.pause()
+    system.replica(2).write("y", "V")
+    for i in range(3):
+        # Later same-channel writes push y='V' out of 2's capped log.
+        system.replica(2).write("w", f"w{i}")
+    system.run(until=50.0)
+    installed = manager.reconcile()
+    assert installed > 0
+    assert manager.stats.value_fetches == 1  # the fallback actually ran
+    r3.resume()
+    system.run()
+    assert system.quiescent()
+    assert r3.read("y") == "V"
+    assert r3.value_debt == {}
+    result = system.check(require_liveness=True)
+    assert result.ok, str(result)
+    system.network.stats.assert_consistent()
+
+
+# ----------------------------------------------------------------------
+# Store-convergence audit (the checker replays events, not values)
+# ----------------------------------------------------------------------
+def test_store_divergence_audit_catches_value_loss():
+    system = DSMSystem({1: {"x"}, 2: {"x"}}, seed=0)
+    uid = system.replica(1).write("x", "new")
+    system.run()
+    values = {uid: "new"}
+    assert store_divergence(system, values) == []
+    # A value-losing bug leaves the store stale while the history replay
+    # (which never sees values) still passes -- the audit must not.
+    system.replica(2).store["x"] = "stale"
+    assert system.check(require_liveness=True).ok
+    findings = store_divergence(system, values)
+    assert findings and "diverged" in findings[0]
+    # An unpaid value debt is reported even without a value map.
+    system.replica(2)._value_debt["x"] = uid
+    findings = store_divergence(system)
+    assert findings and "unpaid value debt" in findings[0]
 
 
 # ----------------------------------------------------------------------
