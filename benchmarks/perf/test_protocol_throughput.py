@@ -26,7 +26,8 @@ def test_scenario_runs_and_verifies(name: str) -> None:
     )
     assert result.writes == bench.SCENARIOS[name].quick_writes
     assert result.ops_per_s > 0
-    assert result.events_per_s > 0
+    if bench.SCENARIOS[name].runtime == "sim":
+        assert result.events_per_s > 0  # asyncio runs have no agenda
     assert result.messages > 0
 
 

@@ -2,9 +2,11 @@
 
 Each replica is an ``asyncio`` task consuming an inbox queue; sends go
 through per-message ``asyncio.sleep`` with jittered delays, so channels
-are reliable but non-FIFO exactly as in Section 2's model.  Replicas
-share the timestamp-policy objects with the simulator runtime -- the
-protocol logic under test is the same code.
+are reliable but non-FIFO exactly as in Section 2's model.  Replicas are
+thin adapters over the shared sans-I/O
+:class:`~repro.core.engine.ProtocolCore` -- the same delivery engine
+(per-sender queues, wake sets, seq-indexed candidates) and the same
+policy objects as the simulator runtime; only the transport differs.
 
 Wall-clock timestamps recorded into the :class:`History` are only used
 for reporting; happened-before is derived from event order, which the
@@ -15,18 +17,28 @@ from __future__ import annotations
 
 import asyncio
 import random
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.core.causality import History
+from repro.core.engine import (
+    Applied,
+    Effect,
+    ProtocolCore,
+    QueueStats,
+    RecordHistory,
+    ReplicaMetrics,
+    Send,
+)
 from repro.core.share_graph import ShareGraph
-from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
+from repro.core.timestamp import EdgeIndexedPolicy, Timestamp, TimestampPolicy
 from repro.core.timestamp_graph import all_timestamp_graphs
-from repro.errors import ConfigurationError, UnknownRegisterError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
 
 
 class AioReplica:
-    """One replica task: local store + timestamp + pending buffer."""
+    """One replica task: the shared protocol core behind an asyncio inbox."""
 
     def __init__(
         self,
@@ -39,60 +51,99 @@ class AioReplica:
         self.graph = graph
         self.policy = policy
         self.system = system
-        self.store: Dict[RegisterName, Any] = {
-            x: None for x in graph.registers_at(replica_id)
-        }
-        self.timestamp = policy.initial()
-        self.pending: List[Tuple[ReplicaId, Update]] = []
+        self.core = ProtocolCore(
+            replica_id,
+            graph,
+            policy,
+            self._on_effect,
+            clock=system.clock,
+            record_history=True,
+            size_wire=False,
+        )
         self.inbox: "asyncio.Queue[Tuple[ReplicaId, Update]]" = asyncio.Queue()
-        self._seq = 0
+        self._on_apply = None
+
+    # -- effect dispatch -------------------------------------------------
+    def _on_effect(self, eff: Effect) -> None:
+        cls = eff.__class__
+        if cls is Send:
+            self.system.post(self.replica_id, eff.dst, eff.update)
+        elif cls is Applied:
+            if self._on_apply is not None:
+                self._on_apply(self, eff.src, eff.update)
+        elif cls is RecordHistory:
+            if eff.kind == "apply":
+                self.system.history.record_apply(
+                    self.replica_id, eff.uid, eff.time
+                )
+            else:
+                self.system.history.record_issue(
+                    self.replica_id, eff.uid, eff.register, eff.time
+                )
+        else:  # pragma: no cover - no other effects are enabled
+            raise ProtocolError(f"unexpected effect {eff!r}")
+
+    # -- core state views ------------------------------------------------
+    @property
+    def store(self) -> Dict[RegisterName, Any]:
+        return self.core.store
+
+    @property
+    def timestamp(self) -> Timestamp:
+        return self.core.timestamp
+
+    @property
+    def pending(self) -> List[Tuple[ReplicaId, Update]]:
+        """Buffered updates as ``(sender, update)`` in arrival order."""
+        return [(src, update) for src, update, _ in self.core.pending]
+
+    @property
+    def metrics(self) -> ReplicaMetrics:
+        return self.core.metrics
+
+    def queue_stats(self) -> QueueStats:
+        return self.core.queue_stats()
+
+    @property
+    def on_apply(self):
+        """Post-apply hook ``(replica, src, update)``, as in the simulator."""
+        return self._on_apply
+
+    @on_apply.setter
+    def on_apply(self, hook) -> None:
+        self._on_apply = hook
+        self.core.emit_applied = hook is not None
 
     # -- client operations ---------------------------------------------
     def read(self, register: RegisterName) -> Any:
-        if register not in self.store:
-            raise UnknownRegisterError(register, self.replica_id)
-        return self.store[register]
+        return self.core.read(register)
 
     async def write(self, register: RegisterName, value: Any) -> UpdateId:
-        if register not in self.store:
-            raise UnknownRegisterError(register, self.replica_id)
-        self._seq += 1
-        uid = UpdateId(self.replica_id, self._seq)
-        self.store[register] = value
-        self.timestamp = self.policy.advance(self.timestamp, register)
-        self.system.history.record_issue(
-            self.replica_id, uid, register, self.system.clock()
-        )
-        update = Update(uid, register, value, self.timestamp)
-        for k in self.graph.recipients(self.replica_id, register):
-            self.system.post(self.replica_id, k, update)
-        return uid
+        return self.core.local_write(register, value)
 
     # -- update delivery -------------------------------------------------
     async def run(self) -> None:
         """Consume the inbox forever (cancelled by the system)."""
         while True:
             src, update = await self.inbox.get()
-            self.pending.append((src, update))
-            self._drain()
+            self.core.remote_update(src, update)
             self.system.note_progress()
 
-    def _drain(self) -> None:
-        progress = True
-        while progress:
-            progress = False
-            for index, (src, update) in enumerate(self.pending):
-                if self.policy.ready(self.timestamp, src, update.timestamp):
-                    del self.pending[index]
-                    self.store[update.register] = update.value
-                    self.timestamp = self.policy.merge(
-                        self.timestamp, src, update.timestamp
-                    )
-                    self.system.history.record_apply(
-                        self.replica_id, update.uid, self.system.clock()
-                    )
-                    progress = True
-                    break
+
+@dataclass
+class AioSystemMetrics:
+    """Cross-replica summary of one asyncio run.
+
+    Apply delays are *wall-clock* seconds (the loop time the update spent
+    in the pending buffer), unlike the simulator's virtual seconds.
+    """
+
+    messages_sent: int
+    issued: int
+    applied_remote: int
+    pending_high_water: int
+    mean_apply_delay: float
+    max_apply_delay: float
 
 
 class AioDSMSystem:
@@ -199,7 +250,9 @@ class AioDSMSystem:
         return (
             self._in_flight == 0
             and all(r.inbox.empty() for r in self.replicas.values())
-            and all(not r.pending for r in self.replicas.values())
+            and all(
+                r.core.pending_count == 0 for r in self.replicas.values()
+            )
         )
 
     async def settle(self, timeout: float = 30.0) -> None:
@@ -219,6 +272,24 @@ class AioDSMSystem:
                 )
             except asyncio.TimeoutError:
                 continue
+
+    def metrics(self) -> AioSystemMetrics:
+        """Aggregate the per-replica engine metrics for this run."""
+        replicas = list(self.replicas.values())
+        applied = sum(r.metrics.applied_remote for r in replicas)
+        delay_total = sum(r.metrics.apply_delay_total for r in replicas)
+        return AioSystemMetrics(
+            messages_sent=self.messages_sent,
+            issued=sum(r.metrics.issued for r in replicas),
+            applied_remote=applied,
+            pending_high_water=max(
+                (r.metrics.pending_high_water for r in replicas), default=0
+            ),
+            mean_apply_delay=(delay_total / applied) if applied else 0.0,
+            max_apply_delay=max(
+                (r.metrics.apply_delay_max for r in replicas), default=0.0
+            ),
+        )
 
     def check(self, require_liveness: bool = True):
         from repro.checker import check_history

@@ -103,3 +103,67 @@ class LegacyEdgeIndexedPolicy:
 def legacy_policy_factory(graph: ShareGraph, replica_id: ReplicaId):
     """Drop-in ``policy_factory`` for :class:`~repro.core.system.DSMSystem`."""
     return LegacyEdgeIndexedPolicy(graph, replica_id)
+
+
+class LegacyReplicaCore:
+    """The prototype's original delivery loop, kept as an oracle.
+
+    This is the pre-engine shape every runtime once contained: one flat
+    ``pending`` list and a restart-from-zero rescan after every apply --
+    O(pending^2) per delivery, but indisputably the Section 2.1
+    pseudocode.  The engine differential tests drive identical event
+    sequences through this and :class:`~repro.core.engine.ProtocolCore`
+    and assert identical apply orders, stores, and timestamps.
+
+    Deliberately I/O-free and feature-free (no metrics, no backpressure,
+    no history): ``local_write`` returns the updates to "send" and
+    ``remote_update`` returns the ``(sender, update)`` pairs applied, in
+    order.
+    """
+
+    def __init__(self, replica_id: ReplicaId, graph: ShareGraph, policy) -> None:
+        self.replica_id = replica_id
+        self.graph = graph
+        self.policy = policy
+        self.store: Dict[RegisterName, object] = {
+            x: None for x in graph.registers_at(replica_id)
+        }
+        self.timestamp = policy.initial()
+        self.pending = []
+        self.seq = 0
+
+    def read(self, register: RegisterName):
+        return self.store[register]
+
+    def local_write(self, register: RegisterName, value):
+        from repro.types import Update, UpdateId
+
+        self.seq += 1
+        uid = UpdateId(self.replica_id, self.seq)
+        self.store[register] = value
+        self.timestamp = self.policy.advance(self.timestamp, register)
+        return [
+            (k, Update(uid, register, value, self.timestamp))
+            for k in self.graph.recipients(self.replica_id, register)
+        ]
+
+    def remote_update(self, src: ReplicaId, update) -> list:
+        self.pending.append((src, update))
+        return self._drain()
+
+    def _drain(self) -> list:
+        applied = []
+        progress = True
+        while progress:
+            progress = False
+            for index, (sender, update) in enumerate(self.pending):
+                if self.policy.ready(self.timestamp, sender, update.timestamp):
+                    del self.pending[index]
+                    self.store[update.register] = update.value
+                    self.timestamp = self.policy.merge(
+                        self.timestamp, sender, update.timestamp
+                    )
+                    applied.append((sender, update))
+                    progress = True
+                    break
+        return applied

@@ -15,6 +15,13 @@ specified in Appendix E.5:
 
 Clients are sequential: one outstanding operation, the next is sent only
 after the response arrives (plus an optional think time).
+
+Replicas are adapters over the shared sans-I/O
+:class:`~repro.core.engine.ProtocolCore`: ``J3`` and ``merge3`` are the
+base :class:`~repro.core.timestamp.EdgeIndexedPolicy` predicate and merge
+over the augmented edge set, and the client-floored ``advance`` is the
+:class:`AugmentedServerPolicy` extension below.  Only the session layer
+(request buffering behind ``J1``/``J2``, dedup, responses) lives here.
 """
 
 from __future__ import annotations
@@ -37,8 +44,16 @@ from repro.clientserver.augmented import (
     all_augmented_timestamp_graphs,
 )
 from repro.core.causality import AccessToken, History
+from repro.core.engine import (
+    Effect,
+    ProtocolCore,
+    QueueStats,
+    RecordHistory,
+    ReplicaMetrics,
+    Send,
+)
 from repro.core.share_graph import ShareGraph
-from repro.core.timestamp import Timestamp
+from repro.core.timestamp import EdgeIndexedPolicy, Timestamp
 from repro.errors import (
     ConfigurationError,
     ProtocolError,
@@ -103,8 +118,61 @@ class WriteResponse:
 # ----------------------------------------------------------------------
 # Replica
 # ----------------------------------------------------------------------
+class AugmentedServerPolicy(EdgeIndexedPolicy):
+    """Appendix E.5 timestamp functions over the augmented edge set.
+
+    ``J3`` and ``merge3`` are exactly the base peer-to-peer predicate and
+    element-wise max, so the delivery engine's seq-indexed queues apply
+    unchanged (every update replica ``k`` sends ``i`` bumps ``e_ki`` by
+    one, so the exact-FIFO index is sound).  Only ``advance`` differs:
+    the serving replica floors its counters at the requesting client's
+    timestamp ``mu`` before stamping the write.
+    """
+
+    def advance_with_floor(
+        self, ts: Timestamp, mu: Timestamp, register: RegisterName
+    ) -> Timestamp:
+        """``advance(i, tau, c, mu, x, v)``: bump ``e_ik`` for ``x in
+        X_ik`` from tau's own value, take ``max(tau, mu)`` elsewhere."""
+        if ts._eindex is self._eindex:
+            old = ts._values
+            values = list(old)
+            mu_values = mu._values
+            for pos, mpos in self._merge_plan(mu._eindex):
+                v = mu_values[mpos]
+                if v > values[pos]:
+                    values[pos] = v
+            # Own out-edges carrying the register bump from tau's value;
+            # mu can never exceed tau there (only i bumps them), but the
+            # historical definition reads tau, so restore before +1.
+            for pos in self._bumps.get(register, ()):
+                values[pos] = old[pos] + 1
+            return Timestamp.from_array(self._eindex, values)
+        i = self.replica_id
+        counters: Dict[Edge, int] = {}
+        for e in self.edges:
+            j, k = e
+            if j == i and register in self.graph.shared(i, k):
+                counters[e] = ts[e] + 1
+            else:
+                client_val = mu.get(e)
+                counters[e] = (
+                    max(ts[e], client_val)
+                    if client_val is not None
+                    else ts[e]
+                )
+        return Timestamp(counters)
+
+
 class CSReplica:
-    """A server replica with request buffering and causal update delivery."""
+    """A server replica: the shared protocol core plus a session layer.
+
+    Inter-replica updates flow straight into the engine (``J3`` delivery
+    with per-sender indexed queues); client requests buffer here behind
+    ``J1``/``J2`` and are served one at a time, re-draining the engine
+    after each serve because a mu-floored ``advance`` can unblock
+    buffered updates.
+    """
 
     def __init__(
         self,
@@ -121,13 +189,18 @@ class CSReplica:
         self._peer_edges = dict(peer_edges)
         self.network = network
         self.history = history
-        self.store: Dict[RegisterName, Any] = {
-            x: None for x in graph.registers_at(replica_id)
-        }
-        self.timestamp = Timestamp.zeros(self.edges)
-        self.pending_updates: List[Tuple[ReplicaId, Update]] = []
+        self.policy = AugmentedServerPolicy(graph, replica_id, edges=edges)
+        simulator = network.simulator
+        self._core = ProtocolCore(
+            replica_id,
+            graph,
+            self.policy,
+            self._on_effect,
+            clock=lambda: simulator.now,
+            record_history=history is not None,
+            size_wire=False,
+        )
         self.buffered_requests: List[Tuple[ClientId, Any]] = []
-        self._seq = 0
         # Session dedup: clients are sequential, so one cache slot per
         # client suffices: (last served request_id, cached response).
         self._served: Dict[ClientId, Tuple[int, Any]] = {}
@@ -139,97 +212,96 @@ class CSReplica:
         )
         network.register(replica_id, self.on_message)
 
-    # -- predicates and timestamp functions (Appendix E.5) -------------
+    # -- engine adapter --------------------------------------------------
+    def _on_effect(self, eff: Effect) -> None:
+        cls = eff.__class__
+        if cls is Send:
+            self.network.send(
+                self.replica_id,
+                eff.dst,
+                eff.update,
+                metadata_counters=eff.metadata_counters,
+            )
+        elif cls is RecordHistory:
+            assert self.history is not None
+            if eff.kind == "apply":
+                self.history.record_apply(self.replica_id, eff.uid, eff.time)
+            else:
+                self.history.record_issue(
+                    self.replica_id,
+                    eff.uid,
+                    eff.register,
+                    eff.time,
+                    client=eff.client,
+                )
+        else:  # pragma: no cover - no other effects are enabled
+            raise ProtocolError(f"unexpected effect {eff!r}")
+
+    @property
+    def store(self) -> Dict[RegisterName, Any]:
+        return self._core.store
+
+    @property
+    def timestamp(self) -> Timestamp:
+        return self._core.timestamp
+
+    @property
+    def pending_updates(self) -> List[Tuple[ReplicaId, Update]]:
+        """Buffered inter-replica updates as ``(sender, update)`` pairs."""
+        return [(src, update) for src, update, _ in self._core.pending]
+
+    @property
+    def _seq(self) -> int:
+        return self._core.seq
+
+    @property
+    def metrics(self) -> ReplicaMetrics:
+        return self._core.metrics
+
+    def queue_stats(self) -> QueueStats:
+        return self._core.queue_stats()
+
+    # -- session predicate (Appendix E.5) --------------------------------
     def _session_ready(self, mu: Timestamp) -> bool:
         """``J1 = J2``: the replica has caught up with the client."""
+        ts = self._core.timestamp
         for e in self._incoming:
             client_val = mu.get(e)
-            if client_val is not None and self.timestamp[e] < client_val:
+            if client_val is not None and ts[e] < client_val:
                 return False
         return True
-
-    def _update_ready(self, sender: ReplicaId, ts: Timestamp) -> bool:
-        """``J3``: the peer-to-peer delivery predicate."""
-        e_ki = (sender, self.replica_id)
-        own, incoming = self.timestamp.get(e_ki), ts.get(e_ki)
-        if own is not None and incoming is not None and own != incoming - 1:
-            return False
-        for e in self._incoming:
-            if e[0] == sender:
-                continue
-            other = ts.get(e)
-            if other is not None and self.timestamp[e] < other:
-                return False
-        return True
-
-    def _advance(self, mu: Timestamp, register: RegisterName) -> Timestamp:
-        i = self.replica_id
-        counters: Dict[Edge, int] = {}
-        for e in self.edges:
-            j, k = e
-            if j == i and register in self.graph.shared(i, k):
-                counters[e] = self.timestamp[e] + 1
-            else:
-                client_val = mu.get(e)
-                counters[e] = (
-                    max(self.timestamp[e], client_val)
-                    if client_val is not None
-                    else self.timestamp[e]
-                )
-        return Timestamp(counters)
-
-    def _merge(self, sender_ts: Timestamp) -> Timestamp:
-        counters = {
-            e: max(self.timestamp[e], sender_ts.get(e, 0))
-            if e in sender_ts
-            else self.timestamp[e]
-            for e in self.edges
-        }
-        return Timestamp(counters)
 
     # -- message handling ----------------------------------------------
     def on_message(self, src: ReplicaId, message: Any) -> None:
         if isinstance(message, Update):
-            self.pending_updates.append((src, message))
+            self._core.remote_update(src, message)
         elif isinstance(message, (ReadRequest, WriteRequest)):
             self.buffered_requests.append((src, message))
         else:  # pragma: no cover - wiring guard
             raise ProtocolError(f"unexpected message {message!r}")
-        self._drain()
+        self._pump()
 
-    def _drain(self) -> None:
+    def _pump(self) -> None:
+        """Serve ready requests, re-draining updates between serves.
+
+        The engine already applied every ready update (to fixpoint), so
+        requests only wait on ``J1``/``J2``.  Serving a write advances the
+        timestamp (mu-max can raise third-party counters), which may make
+        buffered updates ready again -- hence the ``tick`` per iteration.
+        """
         progress = True
         while progress:
             progress = False
-            for index, (sender, update) in enumerate(self.pending_updates):
-                if self._update_ready(sender, update.timestamp):
-                    del self.pending_updates[index]
-                    self._apply_update(sender, update)
-                    progress = True
-                    break
-            if progress:
-                continue
             for index, (client, request) in enumerate(self.buffered_requests):
                 if self._session_ready(request.timestamp):
                     del self.buffered_requests[index]
                     self._serve(client, request)
                     progress = True
                     break
-
-    def _apply_update(self, sender: ReplicaId, update: Update) -> None:
-        if update.register not in self.store:  # pragma: no cover - guard
-            raise ProtocolError(
-                f"update for unstored register {update.register!r}"
-            )
-        self.store[update.register] = update.value
-        self.timestamp = self._merge(update.timestamp)
-        if self.history is not None:
-            self.history.record_apply(
-                self.replica_id, update.uid, self.network.simulator.now
-            )
+            if progress:
+                self._core.tick()
 
     def _serve(self, client: ClientId, request: Any) -> None:
-        now = self.network.simulator.now
         served = self._served.get(client)
         if served is not None:
             last_id, cached_response = served
@@ -243,38 +315,29 @@ class CSReplica:
                 # moved on and will discard any response -- drop it.
                 return
         if isinstance(request, ReadRequest):
-            if request.register not in self.store:
-                raise UnknownRegisterError(request.register, self.replica_id)
             response: Any = ReadResponse(
                 request.register,
-                self.store[request.register],
-                self.timestamp,
+                self._core.read(request.register),
+                self._core.timestamp,
                 request_id=request.request_id,
                 access_token=self._token(),
             )
             self._served[client] = (request.request_id, response)
             self._respond(client, response)
             return
-        # WriteRequest
-        if request.register not in self.store:
-            raise UnknownRegisterError(request.register, self.replica_id)
-        self._seq += 1
-        uid = UpdateId(self.replica_id, self._seq)
-        self.store[request.register] = request.value
-        self.timestamp = self._advance(request.timestamp, request.register)
-        if self.history is not None:
-            self.history.record_issue(
-                self.replica_id, uid, request.register, now, client=client
-            )
-        for k in self.graph.recipients(self.replica_id, request.register):
-            self.network.send(
-                self.replica_id,
-                k,
-                Update(uid, request.register, request.value, self.timestamp),
-                metadata_counters=len(self.timestamp),
-            )
+        # WriteRequest: the engine stamps, stores, records, and multicasts;
+        # the mu floor rides in as this write's advance override.
+        mu = request.timestamp
+        uid = self._core.local_write(
+            request.register,
+            request.value,
+            advance=lambda ts, reg: self.policy.advance_with_floor(
+                ts, mu, reg
+            ),
+            client=client,
+        )
         response = WriteResponse(
-            request.register, uid, self.timestamp,
+            request.register, uid, self._core.timestamp,
             request_id=request.request_id,
             access_token=self._token(),
         )
@@ -296,7 +359,8 @@ class CSReplica:
 
     def __repr__(self) -> str:
         return (
-            f"CSReplica({self.replica_id!r}, pending={len(self.pending_updates)}, "
+            f"CSReplica({self.replica_id!r}, "
+            f"pending={self._core.pending_count}, "
             f"buffered={len(self.buffered_requests)})"
         )
 
@@ -655,6 +719,11 @@ class ClientServerSystem:
     def metadata_counters(self) -> Dict[ReplicaId, int]:
         """Timestamp length per replica under the augmented timestamp graph."""
         return {rid: len(r.edges) for rid, r in self.replicas.items()}
+
+    def metrics(self) -> Dict[ReplicaId, ReplicaMetrics]:
+        """The shared engine's streaming per-replica metrics (issues,
+        applies, pending high-water, apply delays), keyed by replica."""
+        return {rid: r.metrics for rid, r in self.replicas.items()}
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,54 @@
+"""The sans-I/O protocol core: one delivery engine for every runtime.
+
+This package is the Section 2.1 algorithm prototype as a *pure state
+machine*: :class:`ProtocolCore` owns the store, the timestamp engine, the
+per-sender delivery queues with their readiness wake-sets, the value-debt
+ledger, and the pending-cap/gap backpressure -- and it performs no I/O.
+Inputs arrive as typed events (:mod:`repro.core.engine.events`) or direct
+method calls; everything the outside world must do in response is emitted
+as a typed effect (:mod:`repro.core.engine.effects`) through a callback
+the adapter supplies.
+
+The simulator (:class:`repro.core.replica.Replica`), asyncio
+(:class:`repro.aio.runtime.AioReplica`), and client-server
+(:class:`repro.clientserver.protocol.CSReplica`) runtimes are thin
+adapters over this one engine; they translate effects into their own
+transports and never reimplement delivery.
+"""
+
+from repro.core.engine.core import ProtocolCore
+from repro.core.engine.effects import (
+    Applied,
+    ConfirmApplied,
+    Effect,
+    EscalateSync,
+    RecordHistory,
+    RollbackChannels,
+    Send,
+)
+from repro.core.engine.events import (
+    Event,
+    LocalWrite,
+    RemoteUpdate,
+    SyncInstall,
+    Tick,
+)
+from repro.core.engine.metrics import QueueStats, ReplicaMetrics
+
+__all__ = [
+    "Applied",
+    "ConfirmApplied",
+    "Effect",
+    "EscalateSync",
+    "Event",
+    "LocalWrite",
+    "ProtocolCore",
+    "QueueStats",
+    "RecordHistory",
+    "RemoteUpdate",
+    "ReplicaMetrics",
+    "RollbackChannels",
+    "Send",
+    "SyncInstall",
+    "Tick",
+]

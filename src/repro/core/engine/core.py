@@ -1,0 +1,693 @@
+""":class:`ProtocolCore`: the Section 2.1 prototype as a pure state machine.
+
+One instance owns everything algorithmic about a replica -- the register
+store, the timestamp plus its plan-compiled ``advance``/``merge`` fast
+paths, the per-sender FIFO delivery queues with their readiness wake
+sets, the value-debt ledger, and the pending-cap/gap backpressure -- and
+*nothing* operational: no transport, no simulator, no history log.  The
+runtime adapter feeds it events and receives typed effects through the
+``emit`` callback, synchronously at the exact points the historical
+implementations performed I/O, so adapter-observable traces are
+byte-identical to the pre-extraction code.
+
+Delivery engine
+---------------
+Step 4 of the prototype used to be a full rescan of one flat pending
+list after every apply -- O(pending^2) under load.  The buffer is a FIFO
+queue per sender plus a *wake set*: a sender's queue is re-examined only
+when a local counter its predicate ``J`` actually reads has changed (the
+policy advertises those counters through the optional ``readiness_deps``
+hook; policies without the hook fall back to conservative
+wake-everything, which reproduces the historical behaviour exactly).
+Among all ready updates the engine still applies the globally
+earliest-arrived first, so apply order -- and therefore every recorded
+history -- is byte-identical to the original implementation, including
+the naive rescan loops the asyncio and client-server runtimes used
+before they became adapters.
+
+Time is injected as a ``clock`` callable (the simulator's ``now``, the
+asyncio loop clock, or a test stub); the core never asks a runtime for
+it implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.engine.effects import (
+    Applied,
+    ConfirmApplied,
+    Emit,
+    EscalateSync,
+    RecordHistory,
+    RollbackChannels,
+    Send,
+)
+from repro.core.engine.events import (
+    Event,
+    LocalWrite,
+    RemoteUpdate,
+    SyncInstall,
+    Tick,
+)
+from repro.core.engine.metrics import QueueStats, ReplicaMetrics
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import Timestamp, TimestampPolicy
+from repro.errors import ProtocolError, UnknownRegisterError
+from repro.types import Edge, RegisterName, ReplicaId, Update, UpdateId
+from repro.wire.codec import timestamp_wire_bytes
+
+# One buffered update: (update, arrival time, sender-edge sequence).
+# Queues are dicts keyed by global arrival counter; insertion order is
+# arrival order, so iterating a queue scans in arrival order and removal
+# by key is O(1).
+_PendingEntry = Tuple[Update, float, Optional[int]]
+
+#: ``advance`` plus the changed keys (``None`` = unknown delta).
+_AdvanceDelta = Callable[
+    [Timestamp, RegisterName], Tuple[Timestamp, Optional[FrozenSet[Edge]]]
+]
+#: ``merge`` plus the raised keys (``None`` = unknown delta).
+_MergeDelta = Callable[
+    [Timestamp, ReplicaId, Timestamp],
+    Tuple[Timestamp, Optional[FrozenSet[Edge]]],
+]
+_ReadinessDeps = Callable[[ReplicaId, Timestamp], FrozenSet[Edge]]
+_SenderSeq = Callable[[ReplicaId, Timestamp], Optional[int]]
+_NextSeq = Callable[[Timestamp, ReplicaId], Optional[int]]
+#: Runtime-specific ``advance`` override (the client-server runtime
+#: floors counters at the requesting client's timestamp).
+AdvanceFn = Callable[[Timestamp, RegisterName], Timestamp]
+
+
+class ProtocolCore:
+    """The pure protocol state machine behind every runtime.
+
+    Parameters
+    ----------
+    replica_id, graph, policy:
+        Identity, the share graph (multicast recipients), and the
+        timestamp policy (structure + ``advance``/``merge``/``J``).
+    emit:
+        Effect sink; invoked synchronously, may re-enter the core (e.g.
+        an ``Applied`` handler issuing a follow-up ``local_write``).
+    clock:
+        Source of the current time, used for arrival stamps, apply-delay
+        metrics, and history record times.
+    record_history / emit_applied / emit_confirm:
+        Gate the :class:`RecordHistory` / :class:`Applied` /
+        :class:`ConfirmApplied` effects (and their allocations) so
+        adapters only pay for effects they consume.  All three are
+        mutable attributes.
+    size_wire:
+        Compute the memoized wire encoding size for ``Send`` effects
+        (the simulator transport's metadata accounting); runtimes that
+        do not account bytes switch it off.
+    dummy_registers, track_timestamps, initial_*, value_merge:
+        As for the historical :class:`repro.core.replica.Replica`.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        graph: ShareGraph,
+        policy: TimestampPolicy,
+        emit: Emit,
+        clock: Callable[[], float],
+        dummy_registers: AbstractSet[RegisterName] = frozenset(),
+        track_timestamps: bool = False,
+        initial_timestamp: Optional[Timestamp] = None,
+        initial_seq: int = 0,
+        initial_store: Optional[Dict[RegisterName, Any]] = None,
+        value_merge: Optional[Callable[[Any, Any], Any]] = None,
+        record_history: bool = False,
+        emit_applied: bool = False,
+        emit_confirm: bool = False,
+        size_wire: bool = True,
+    ) -> None:
+        self.replica_id = replica_id
+        self.graph = graph
+        self.policy = policy
+        self._emit: Emit = emit
+        self._clock: Callable[[], float] = clock
+        self.record_history = record_history
+        self.emit_applied = emit_applied
+        self.emit_confirm = emit_confirm
+        self.size_wire = size_wire
+        self.dummy_registers: FrozenSet[RegisterName] = frozenset(
+            dummy_registers
+        )
+        self.store: Dict[RegisterName, Any] = {
+            x: None
+            for x in graph.registers_at(replica_id)
+            if x not in self.dummy_registers
+        }
+        if initial_store:
+            for x, value in initial_store.items():
+                if x in self.store:
+                    self.store[x] = value
+        self.timestamp: Timestamp = (
+            initial_timestamp if initial_timestamp is not None
+            else policy.initial()
+        )
+        # Delivery engine state: per-sender FIFO queues, the senders whose
+        # queues must be (re-)examined, and the cached ready-entry arrival
+        # key per sender (valid until the sender is marked dirty again).
+        self._queues: Dict[ReplicaId, Dict[int, _PendingEntry]] = {}
+        self._pending_total = 0
+        self._arrival = 0
+        self._dirty: Set[ReplicaId] = set()
+        self._candidates: Dict[ReplicaId, int] = {}
+        self._deps: Dict[ReplicaId, Optional[FrozenSet[Edge]]] = {}
+        # Per-sender map: sender-edge sequence -> arrival key.  ``None``
+        # marks a sender whose queue cannot be seq-indexed (an update
+        # without a sequence, or a duplicate) and falls back to scanning.
+        self._seqmaps: Dict[ReplicaId, Optional[Dict[int, int]]] = {}
+        self._readiness_deps: Optional[_ReadinessDeps] = getattr(
+            policy, "readiness_deps", None
+        )
+        self._advance_delta: Optional[_AdvanceDelta] = getattr(
+            policy, "advance_delta", None
+        )
+        self._merge_delta: Optional[_MergeDelta] = getattr(
+            policy, "merge_delta", None
+        )
+        self._sender_seq: Optional[_SenderSeq] = getattr(
+            policy, "sender_seq", None
+        )
+        self._next_seq: Optional[_NextSeq] = getattr(policy, "next_seq", None)
+        self._fifo = bool(
+            getattr(policy, "exact_sender_fifo", False)
+            and self._sender_seq is not None
+            and self._next_seq is not None
+        )
+        self.metrics = ReplicaMetrics()
+        self.seq = initial_seq
+        self._timestamps_used: Optional[Set[Timestamp]] = (
+            {self.timestamp} if track_timestamps else None
+        )
+        self._dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {}
+        self.paused = False
+        self._value_merge = value_merge
+        # Anti-entropy knobs (installed by repro.sync.SyncManager through
+        # the adapter; all off by default so classic behaviour is
+        # untouched).  ``sync_armed`` mirrors "an escalation handler is
+        # installed": the stale-discard/gap pre-checks and the pending-cap
+        # shed only run when something consumes ``EscalateSync``.
+        self.pending_cap: Optional[int] = None
+        self.gap_threshold: Optional[int] = None
+        self.sync_armed = False
+        self._value_debt: Dict[RegisterName, UpdateId] = {}
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> Optional[UpdateId]:
+        """Dispatch one typed input event (see :mod:`.events`).
+
+        Adapters on a hot path may call the underlying methods directly;
+        this wrapper exists for symmetry with the effect stream and for
+        driving the core from data (tests, replays).
+        """
+        cls = event.__class__
+        if cls is RemoteUpdate:
+            assert isinstance(event, RemoteUpdate)
+            self.remote_update(event.src, event.update)
+            return None
+        if cls is LocalWrite:
+            assert isinstance(event, LocalWrite)
+            return self.local_write(
+                event.register,
+                event.value,
+                payload=event.payload,
+                client=event.client,
+            )
+        if cls is SyncInstall:
+            assert isinstance(event, SyncInstall)
+            self.install_sync(event.timestamp, event.values, event.value_debt)
+            return None
+        if cls is Tick:
+            self.tick()
+            return None
+        raise ProtocolError(f"unexpected event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Client operations (prototype steps 1-2)
+    # ------------------------------------------------------------------
+    def read(self, register: RegisterName) -> Any:
+        """Step 1: return the local copy of ``register``."""
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        return self.store[register]
+
+    def local_write(
+        self,
+        register: RegisterName,
+        value: Any,
+        payload: Any = None,
+        advance: Optional[AdvanceFn] = None,
+        client: Optional[object] = None,
+    ) -> UpdateId:
+        """Step 2: local write + advance + multicast; returns the update id.
+
+        ``payload`` piggybacks opaque data on the update message (the
+        virtual-register mechanism of Appendix D); it is delivered to the
+        receivers' ``Applied`` effects.  ``advance`` overrides the
+        policy's advance function for this write (the client-server
+        runtime floors counters at the requesting client's timestamp);
+        ``client`` attributes the issue record to a session.
+        """
+        if register not in self.store:
+            raise UnknownRegisterError(register, self.replica_id)
+        self.seq += 1
+        uid = UpdateId(self.replica_id, self.seq)
+        self.store[register] = value
+        # The local write supersedes any outstanding value debt on the
+        # register, exactly as a newer remote apply would (see _apply):
+        # a stale redelivery paying the debt later would roll the store
+        # back below this write.
+        self._value_debt.pop(register, None)
+        before = self.timestamp
+        if advance is not None:
+            self.timestamp = advance(before, register)
+            self._wake_after_change(before, self.timestamp)
+        elif self._advance_delta is not None:
+            self.timestamp, changed = self._advance_delta(before, register)
+            if self.timestamp is not before:
+                self._wake_on_changed(changed)
+        else:
+            self.timestamp = self.policy.advance(before, register)
+            self._wake_after_change(before, self.timestamp)
+        self._note_timestamp()
+        self.metrics.issued += 1
+        if self.record_history:
+            self._emit(
+                RecordHistory("issue", uid, register, self._clock(), client)
+            )
+        ts = self.timestamp
+        counters = len(ts)
+        # timestamp_wire_bytes memoizes on the (immutable) timestamp, so a
+        # fan-out of N recipients sizes the encoding once, not N times.
+        wire = timestamp_wire_bytes(ts) if self.size_wire else 0
+        emit = self._emit
+        for k in self.graph.recipients(self.replica_id, register):
+            # Appendix D: replicas holding `register` only as a dummy
+            # receive metadata without the value.
+            declared = self._dummy_map.get(k)
+            meta_only = (
+                declared is not None
+                and register in declared
+                and register in self.graph.registers_at(k)
+            )
+            update = Update(
+                uid=uid,
+                register=register,
+                value=None if meta_only else value,
+                timestamp=ts,
+                metadata_only=meta_only,
+                payload=payload,
+            )
+            emit(Send(k, update, counters, wire))
+        return uid
+
+    def set_dummy_map(
+        self, mapping: Dict[ReplicaId, FrozenSet[RegisterName]]
+    ) -> None:
+        """Install the cluster-wide dummy-register map (system wiring)."""
+        self._dummy_map = dict(mapping)
+
+    # ------------------------------------------------------------------
+    # Update reception (prototype steps 3-4)
+    # ------------------------------------------------------------------
+    def remote_update(self, src: ReplicaId, update: Update) -> None:
+        """Step 3: buffer the update, then step 4: drain what's ready."""
+        arrived = self._clock()
+        if self.sync_armed and self._fifo:
+            assert self._sender_seq is not None and self._next_seq is not None
+            seq = self._sender_seq(src, update.timestamp)
+            want = self._next_seq(self.timestamp, src)
+            if seq is not None and want is not None:
+                if seq < want:
+                    # At or below the delivery frontier: the content
+                    # arrived via a snapshot install (or was applied and
+                    # re-sent after a shed).  Never re-apply -- just
+                    # settle any value debt and confirm so the sender's
+                    # retransmission stops.
+                    self._discard_stale(src, update)
+                    return
+                if (
+                    self.gap_threshold is not None
+                    and seq - want >= self.gap_threshold
+                ):
+                    # The sender is far ahead: the retransmit prefix was
+                    # truncated or we are freshly recovered.  Catching up
+                    # update-by-update would be O(history); escalate.
+                    self._emit(EscalateSync("gap"))
+        self._enqueue(src, update, arrived)
+        if self._pending_total > self.metrics.pending_high_water:
+            self.metrics.pending_high_water = self._pending_total
+        if (
+            self.pending_cap is not None
+            and self.sync_armed
+            and self._pending_total >= self.pending_cap
+        ):
+            # Backpressure: shed the whole buffer (the channel layer rolls
+            # the deliveries back so nothing is lost) and escalate to a
+            # state transfer instead of growing without bound.
+            self.shed_pending()
+            self._emit(EscalateSync("overflow"))
+            return
+        if not self.paused:
+            self._drain()
+
+    def tick(self) -> None:
+        """Re-run the readiness drain (unless paused)."""
+        if not self.paused:
+            self._drain()
+
+    def _discard_stale(self, src: ReplicaId, update: Update) -> None:
+        self.metrics.stale_discarded += 1
+        debt = self._value_debt.get(update.register)
+        if debt is not None and debt == update.uid:
+            if update.register in self.store and not update.metadata_only:
+                self.store[update.register] = update.value
+            del self._value_debt[update.register]
+        if self.emit_confirm:
+            self._emit(ConfirmApplied(src, update))
+
+    def _enqueue(self, src: ReplicaId, update: Update, arrived: float) -> None:
+        arrival = self._arrival
+        self._arrival += 1
+        seq: Optional[int] = None
+        if self._fifo:
+            assert self._sender_seq is not None
+            seq = self._sender_seq(src, update.timestamp)
+        queue = self._queues.get(src)
+        if queue is None:
+            queue = self._queues[src] = {}
+            if self._fifo:
+                self._seqmaps[src] = {}
+        queue[arrival] = (update, arrived, seq)
+        self._pending_total += 1
+        if self._fifo:
+            seqmap = self._seqmaps[src]
+            if seqmap is not None:
+                if seq is None or seq in seqmap:
+                    # Unindexable or duplicate sequence: this sender's
+                    # queue degrades to linear scanning.
+                    self._seqmaps[src] = None
+                else:
+                    seqmap[seq] = arrival
+        if self._readiness_deps is None:
+            self._deps[src] = None
+        else:
+            deps = self._readiness_deps(src, update.timestamp)
+            prev = self._deps.get(src, deps)
+            self._deps[src] = None if prev is None else prev | deps
+        self._dirty.add(src)
+
+    def _wake_after_change(
+        self, before: Timestamp, after: Timestamp
+    ) -> None:
+        """Mark senders whose predicate inputs a timestamp change touched."""
+        if after is before or not self._queues:
+            return
+        self._wake_on_changed(after.diff_keys(before))
+
+    def _wake_on_changed(self, changed: Optional[FrozenSet[Edge]]) -> None:
+        if not self._queues:
+            return
+        if changed is None:
+            # Unknown delta (incomparable representations): conservatively
+            # recheck every sender.
+            self._dirty.update(self._queues)
+        elif changed:
+            for sender, deps in self._deps.items():
+                if deps is None or deps & changed:
+                    self._dirty.add(sender)
+
+    def _find_candidate(self, sender: ReplicaId) -> Optional[int]:
+        """Arrival key of this sender's (unique) ready update, if any.
+
+        Under an exact sender-edge gap check at most one queued update per
+        sender can satisfy J -- the one carrying the next sequence number
+        -- so a seq-indexed sender resolves in O(1).  Senders that cannot
+        be seq-indexed (no hooks, lax predicates, unindexable entries)
+        scan their queue in arrival order, which preserves the historical
+        semantics for arbitrary predicates.
+        """
+        queue = self._queues.get(sender)
+        if not queue:
+            return None
+        ts = self.timestamp
+        ready = self.policy.ready
+        seqmap = self._seqmaps.get(sender) if self._fifo else None
+        if seqmap is not None:
+            assert self._next_seq is not None
+            want = self._next_seq(ts, sender)
+            if want is not None:
+                arrival = seqmap.get(want)
+                if arrival is not None and ready(
+                    ts, sender, queue[arrival][0].timestamp
+                ):
+                    return arrival
+                return None
+            # Sender edge untracked locally: fall through to scanning.
+        for arrival, entry in queue.items():
+            if ready(ts, sender, entry[0].timestamp):
+                return arrival
+        return None
+
+    def _drain(self) -> None:
+        """Apply pending updates whose predicate J holds, to fixpoint."""
+        queues = self._queues
+        candidates = self._candidates
+        dirty = self._dirty
+        while True:
+            if dirty:
+                for sender in dirty:
+                    arrival = self._find_candidate(sender)
+                    if arrival is None:
+                        candidates.pop(sender, None)
+                    else:
+                        candidates[sender] = arrival
+                dirty.clear()
+            if not candidates:
+                return
+            # Apply the globally earliest-arrived ready update: identical
+            # order to the historical full-rescan implementation.
+            best_sender = min(candidates, key=candidates.__getitem__)
+            arrival = candidates.pop(best_sender)
+            queue = queues[best_sender]
+            update, arrived, seq = queue.pop(arrival)
+            self._pending_total -= 1
+            if not queue:
+                del queues[best_sender]
+                self._seqmaps.pop(best_sender, None)
+                self._deps.pop(best_sender, None)
+            else:
+                if seq is not None:
+                    seqmap = self._seqmaps.get(best_sender)
+                    if seqmap is not None:
+                        seqmap.pop(seq, None)
+                dirty.add(best_sender)
+            self._apply(best_sender, update, arrived)
+
+    def _apply(self, src: ReplicaId, update: Update, arrived: float) -> None:
+        register = update.register
+        if register in self.store:
+            if not update.metadata_only:
+                # Optional conflict resolution (e.g. last-writer-wins for
+                # the causal+ convergence layer); plain causal memory
+                # just overwrites.
+                if self._value_merge is not None:
+                    self.store[register] = self._value_merge(
+                        self.store[register], update.value
+                    )
+                else:
+                    self.store[register] = update.value
+                # This write supersedes any outstanding value debt on the
+                # register: were the debt paid later (a stale redelivery
+                # can arrive after this), it would roll the store back to
+                # the older value.
+                self._value_debt.pop(register, None)
+        elif register not in self.dummy_registers:
+            raise ProtocolError(
+                f"replica {self.replica_id!r} received update for "
+                f"unstored register {register!r}"
+            )
+        before = self.timestamp
+        if self._merge_delta is not None:
+            self.timestamp, changed = self._merge_delta(
+                before, src, update.timestamp
+            )
+            if self.timestamp is not before:
+                self._wake_on_changed(changed)
+        else:
+            self.timestamp = self.policy.merge(before, src, update.timestamp)
+            self._wake_after_change(before, self.timestamp)
+        self._note_timestamp()
+        now = self._clock()
+        self.metrics.applied_remote += 1
+        self.metrics.record_apply_delay(now - arrived)
+        if self.record_history:
+            self._emit(RecordHistory("apply", update.uid, register, now))
+        if self.emit_confirm:
+            # Applied state is synchronously durable (write-ahead): tell
+            # the reliable transport so it acks the segment.
+            self._emit(ConfirmApplied(src, update))
+        if self.emit_applied:
+            self._emit(Applied(src, update, arrived))
+
+    # ------------------------------------------------------------------
+    # Pending buffer views (per-sender queues behind a flat facade)
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[Tuple[ReplicaId, Update, float]]:
+        """Buffered updates as ``(sender, update, arrived)`` in arrival order."""
+        merged: List[Tuple[int, ReplicaId, Update, float]] = [
+            (arrival, sender, update, arrived)
+            for sender, queue in self._queues.items()
+            for arrival, (update, arrived, _) in queue.items()
+        ]
+        merged.sort(key=lambda item: item[0])
+        return [
+            (sender, update, arrived) for _, sender, update, arrived in merged
+        ]
+
+    @pending.setter
+    def pending(
+        self, entries: Iterable[Tuple[ReplicaId, Update, float]]
+    ) -> None:
+        self.clear_pending()
+        for src, update, arrived in entries:
+            self._enqueue(src, update, arrived)
+
+    def clear_pending(self) -> None:
+        self._queues.clear()
+        self._candidates.clear()
+        self._dirty.clear()
+        self._deps.clear()
+        self._seqmaps.clear()
+        self._pending_total = 0
+
+    @property
+    def pending_count(self) -> int:
+        return self._pending_total
+
+    def queue_stats(self) -> QueueStats:
+        """Point-in-time delivery-queue statistics (see :class:`QueueStats`)."""
+        return QueueStats(
+            pending_total=self._pending_total,
+            senders=len(self._queues),
+            indexed_senders=sum(
+                1 for seqmap in self._seqmaps.values() if seqmap is not None
+            ),
+            dirty=len(self._dirty),
+        )
+
+    # ------------------------------------------------------------------
+    # Anti-entropy: shedding and snapshot installation (repro.sync)
+    # ------------------------------------------------------------------
+    def shed_pending(self) -> int:
+        """Drop every buffered update and roll its channel state back.
+
+        The shed entries were delivered but never applied, so the
+        reliable transport still holds them unacked at their senders;
+        the :class:`RollbackChannels` effect tells the adapter to roll
+        the volatile channel state back so the retransmissions re-deliver
+        them later.  Nothing is lost -- memory is reclaimed now,
+        redelivery (or a covering snapshot) restores the data.  Returns
+        the number of entries shed.
+        """
+        shed = self._pending_total
+        if shed == 0:
+            return 0
+        self.metrics.updates_shed += shed
+        self.clear_pending()
+        self._emit(RollbackChannels(shed))
+        return shed
+
+    def install_sync(
+        self,
+        timestamp: Timestamp,
+        values: Dict[RegisterName, Any],
+        value_debt: Dict[RegisterName, UpdateId],
+    ) -> None:
+        """Atomically adopt a causally consistent snapshot.
+
+        Called (through the adapter) by :class:`repro.sync.SyncManager`
+        *after* it has recorded the transferred updates in the history
+        and settled the channel state (acks for covered segments,
+        rollback for the rest).  The pending buffer is shed first --
+        every entry is either covered by the snapshot (stale now) or will
+        be re-delivered by its sender's retransmission -- then the store
+        and timestamp jump to the frontier and normal predicate-J
+        delivery resumes from there.
+        """
+        self.shed_pending()
+        for register, value in values.items():
+            if register in self.store:
+                self.store[register] = value
+                # A supplied value settles any older debt on the register
+                # (the sync manager only ships values at or above it).
+                self._value_debt.pop(register, None)
+        self.timestamp = timestamp
+        self._note_timestamp()
+        self._value_debt.update(value_debt)
+        self.metrics.syncs += 1
+        if not self.paused:
+            self._drain()
+
+    @property
+    def value_debt(self) -> Dict[RegisterName, UpdateId]:
+        """Registers whose value awaits the debt update's retransmission.
+
+        This is the live ledger, not a copy; the sync layer mutates it
+        through the adapter.
+        """
+        return self._value_debt
+
+    def pay_value_debt(self, register: RegisterName, value: Any) -> None:
+        """Settle one value debt out-of-band (anti-entropy fallback).
+
+        Used by :meth:`repro.sync.SyncManager.settle_value_debts` when the
+        debt update's retransmission can never arrive (its segment was
+        truncated out of the sender's log): the value comes straight from
+        a register holder's store instead.
+        """
+        if register in self._value_debt:
+            if register in self.store:
+                self.store[register] = value
+            del self._value_debt[register]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _note_timestamp(self) -> None:
+        if self._timestamps_used is not None:
+            self._timestamps_used.add(self.timestamp)
+
+    @property
+    def timestamps_used(self) -> FrozenSet[Timestamp]:
+        """Distinct timestamp values assigned so far (when tracked)."""
+        if self._timestamps_used is None:
+            raise ProtocolError("timestamp tracking was not enabled")
+        return frozenset(self._timestamps_used)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolCore({self.replica_id!r}, {len(self.store)} registers, "
+            f"{self._pending_total} pending)"
+        )

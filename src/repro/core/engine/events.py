@@ -1,0 +1,61 @@
+"""Typed input events for the sans-I/O protocol core.
+
+Each event is one external stimulus of the Section 2.1 prototype:
+
+* :class:`LocalWrite` -- a client invoked ``write(x, v)`` (step 2);
+* :class:`RemoteUpdate` -- the transport delivered an ``update`` message
+  (step 3, which triggers the step-4 drain);
+* :class:`SyncInstall` -- the anti-entropy layer hands over a causally
+  consistent snapshot to adopt;
+* :class:`Tick` -- "re-examine readiness now" (a resumed replica, or a
+  runtime-specific action such as a served client session that may have
+  unblocked buffered updates).
+
+Adapters may construct events and feed them to
+:meth:`~repro.core.engine.core.ProtocolCore.handle`, or call the
+equivalently named methods directly -- both run the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.core.timestamp import Timestamp
+from repro.types import RegisterName, ReplicaId, Update, UpdateId
+
+
+@dataclass(frozen=True)
+class LocalWrite:
+    """A client write at this replica: store, advance, multicast."""
+
+    register: RegisterName
+    value: Any
+    payload: Any = None
+    #: Attributed client for the issue history record (client-server runs).
+    client: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class RemoteUpdate:
+    """An ``update`` message delivered by the transport."""
+
+    src: ReplicaId
+    update: Update
+
+
+@dataclass(frozen=True)
+class SyncInstall:
+    """A causally consistent snapshot from the anti-entropy layer."""
+
+    timestamp: Timestamp
+    values: Dict[RegisterName, Any] = field(default_factory=dict)
+    value_debt: Dict[RegisterName, UpdateId] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Tick:
+    """Re-run the readiness drain (no other state change)."""
+
+
+Event = Union[LocalWrite, RemoteUpdate, SyncInstall, Tick]

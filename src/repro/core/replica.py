@@ -1,4 +1,4 @@
-"""The replica prototype of Section 2.1.
+"""The replica prototype of Section 2.1 -- the simulator runtime adapter.
 
 A :class:`Replica` implements the four steps of the prototype literally:
 
@@ -11,22 +11,15 @@ A :class:`Replica` implements the four steps of the prototype literally:
    update is applied, the timestamp merged, and the entry removed -- in a
    loop, since one application may unblock others.
 
-Everything algorithm-specific (timestamp structure, ``advance``, ``merge``,
-``J``) lives in the injected :class:`~repro.core.timestamp.TimestampPolicy`,
-matching the paper's "family of algorithms" framing.
-
-Delivery engine
----------------
-Step 4 used to be a full rescan of one flat pending list after every
-apply -- O(pending^2) under load.  The buffer is now a FIFO queue per
-sender plus a *wake set*: a sender's queue is re-examined only when a
-local counter its predicate ``J`` actually reads has changed (the policy
-advertises those counters through the optional ``readiness_deps`` hook;
-policies without the hook fall back to conservative wake-everything,
-which reproduces the historical behaviour exactly).  Among all ready
-updates the engine still applies the globally earliest-arrived first, so
-apply order -- and therefore every recorded history -- is byte-identical
-to the original implementation.
+All four steps -- and everything algorithm-specific around them (the
+timestamp engine, the per-sender delivery queues with readiness wake
+sets, value debts, pending-cap/gap backpressure) -- live in the shared
+sans-I/O :class:`~repro.core.engine.ProtocolCore`.  This class is the
+*simulator adapter*: it translates the core's typed effects into calls
+on the simulated :class:`~repro.network.transport.Network`, the global
+:class:`~repro.core.causality.History`, and the reliable transport's
+confirmation/rollback hooks, and it owns what is genuinely operational
+-- crash/recovery, pause/resume, snapshots.
 
 Dummy registers (Appendix D) are supported natively: a register in
 ``dummy_registers`` is tracked in the timestamp but has no stored copy; its
@@ -45,17 +38,34 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Set,
     Tuple,
 )
 
 from repro.core.causality import History
+from repro.core.engine import (
+    Applied,
+    ConfirmApplied,
+    Effect,
+    EscalateSync,
+    ProtocolCore,
+    QueueStats,
+    RecordHistory,
+    ReplicaMetrics,
+    RollbackChannels,
+    Send,
+)
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import Timestamp, TimestampPolicy
-from repro.errors import ProtocolError, UnknownRegisterError
+from repro.errors import ProtocolError
 from repro.network.transport import Network
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
-from repro.wire.codec import timestamp_wire_bytes
+
+__all__ = [
+    "ApplyHook",
+    "Replica",
+    "ReplicaMetrics",
+    "ReplicaSnapshot",
+]
 
 
 @dataclass(frozen=True)
@@ -74,52 +84,11 @@ class ReplicaSnapshot:
     pending: Tuple[Tuple[ReplicaId, Update, float], ...]
 
 
-@dataclass
-class ReplicaMetrics:
-    """Per-replica protocol statistics for one run.
-
-    Apply-delay statistics are streamed (count via ``applied_remote``,
-    plus running sum and max) so long chaos campaigns hold O(1) state per
-    replica instead of an ever-growing list of samples.
-    """
-
-    issued: int = 0
-    applied_remote: int = 0
-    pending_high_water: int = 0
-    apply_delay_total: float = 0.0
-    apply_delay_max: float = 0.0
-    # Anti-entropy counters (zero unless the sync layer is wired in):
-    # snapshot installs, pending entries shed by backpressure, and stale
-    # deliveries discarded because a snapshot frontier already covered
-    # them.
-    syncs: int = 0
-    updates_shed: int = 0
-    stale_discarded: int = 0
-
-    @property
-    def mean_apply_delay(self) -> float:
-        """Mean time an update sat in ``pending`` before applying."""
-        if not self.applied_remote:
-            return 0.0
-        return self.apply_delay_total / self.applied_remote
-
-    def record_apply_delay(self, delay: float) -> None:
-        self.apply_delay_total += delay
-        if delay > self.apply_delay_max:
-            self.apply_delay_max = delay
-
-
 ApplyHook = Callable[["Replica", ReplicaId, Update], None]
-
-# One buffered update: (update, arrival time, sender-edge sequence).
-# Queues are dicts keyed by global arrival counter; insertion order is
-# arrival order, so iterating a queue scans in arrival order and removal
-# by key is O(1).
-_PendingEntry = Tuple[Update, float, Optional[int]]
 
 
 class Replica:
-    """One peer's replica: local store + timestamp + pending buffer.
+    """One peer's replica: the shared protocol core behind the simulator.
 
     Parameters
     ----------
@@ -164,72 +133,73 @@ class Replica:
         self.policy = policy
         self.network = network
         self.history = history
-        self.dummy_registers: FrozenSet[RegisterName] = frozenset(dummy_registers)
-        self.on_apply = on_apply
-        self.store: Dict[RegisterName, Any] = {
-            x: None
-            for x in graph.registers_at(replica_id)
-            if x not in self.dummy_registers
-        }
-        if initial_store:
-            for x, value in initial_store.items():
-                if x in self.store:
-                    self.store[x] = value
-        self.timestamp: Timestamp = (
-            initial_timestamp if initial_timestamp is not None
-            else policy.initial()
-        )
-        # Delivery engine state: per-sender FIFO queues, the senders whose
-        # queues must be (re-)examined, and the cached ready-entry arrival
-        # key per sender (valid until the sender is marked dirty again).
-        self._queues: Dict[ReplicaId, Dict[int, _PendingEntry]] = {}
-        self._pending_total = 0
-        self._arrival = 0
-        self._dirty: Set[ReplicaId] = set()
-        self._candidates: Dict[ReplicaId, int] = {}
-        self._deps: Dict[ReplicaId, Optional[FrozenSet]] = {}
-        # Per-sender map: sender-edge sequence -> arrival key.  ``None``
-        # marks a sender whose queue cannot be seq-indexed (an update
-        # without a sequence, or a duplicate) and falls back to scanning.
-        self._seqmaps: Dict[ReplicaId, Optional[Dict[int, int]]] = {}
-        self._readiness_deps = getattr(policy, "readiness_deps", None)
-        self._advance_delta = getattr(policy, "advance_delta", None)
-        self._merge_delta = getattr(policy, "merge_delta", None)
-        self._sender_seq = getattr(policy, "sender_seq", None)
-        self._next_seq = getattr(policy, "next_seq", None)
-        self._fifo = bool(
-            getattr(policy, "exact_sender_fifo", False)
-            and self._sender_seq is not None
-            and self._next_seq is not None
-        )
-        self.metrics = ReplicaMetrics()
-        self._seq = initial_seq
-        self._timestamps_used: Optional[Set[Timestamp]] = (
-            {self.timestamp} if track_timestamps else None
-        )
-        self._dummy_map: Dict[ReplicaId, FrozenSet[RegisterName]] = {}
-        self._paused = False
+        self._on_apply = on_apply
+        self._on_sync_needed: Optional[Callable[[ReplicaId, str], None]] = None
         self._crashed = False
-        self._value_merge = value_merge
-        # Anti-entropy wiring (installed by repro.sync.SyncManager; all
-        # None/empty by default so the classic behaviour is untouched).
-        # ``pending_cap`` bounds the pending buffer: reaching it sheds the
-        # buffer and escalates to state transfer via ``on_sync_needed``.
-        # ``gap_threshold`` escalates when an arriving update's sender-edge
-        # sequence runs this far ahead of the next deliverable one.
-        # ``_value_debt`` tracks, per register, the one installed update
-        # whose *value* the snapshot could not supply (donor did not store
-        # the register); the value is filled in when the update's own
-        # retransmission arrives.
-        self.pending_cap: Optional[int] = None
-        self.gap_threshold: Optional[int] = None
-        self.on_sync_needed: Optional[Callable[[ReplicaId, str], None]] = None
-        self._value_debt: Dict[RegisterName, UpdateId] = {}
-        # Reliable transports expose crash/recovery and durable-apply
-        # confirmation; on the plain (always reliable) Network these hooks
-        # simply do not exist.
+        # Reliable transports expose crash/recovery, durable-apply
+        # confirmation, and volatile-state rollback; on the plain (always
+        # reliable) Network these hooks simply do not exist.
         self._confirm_applied = getattr(network, "confirm_applied", None)
+        self._rollback_volatile = getattr(network, "rollback_volatile", None)
+        simulator = network.simulator
+        self._core = ProtocolCore(
+            replica_id,
+            graph,
+            policy,
+            self._on_effect,
+            clock=lambda: simulator.now,
+            dummy_registers=dummy_registers,
+            track_timestamps=track_timestamps,
+            initial_timestamp=initial_timestamp,
+            initial_seq=initial_seq,
+            initial_store=initial_store,
+            value_merge=value_merge,
+            record_history=history is not None,
+            emit_applied=on_apply is not None,
+            emit_confirm=self._confirm_applied is not None,
+            size_wire=True,
+        )
         network.register(replica_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Effect dispatch (the core's only window on the outside world)
+    # ------------------------------------------------------------------
+    def _on_effect(self, eff: Effect) -> None:
+        cls = eff.__class__
+        if cls is Send:
+            self.network.send(
+                self.replica_id,
+                eff.dst,
+                eff.update,
+                metadata_counters=eff.metadata_counters,
+                wire_bytes=eff.wire_bytes,
+            )
+        elif cls is RecordHistory:
+            # Only emitted when a history is attached (record_history).
+            if eff.kind == "apply":
+                self.history.record_apply(self.replica_id, eff.uid, eff.time)
+            else:
+                self.history.record_issue(
+                    self.replica_id,
+                    eff.uid,
+                    eff.register,
+                    eff.time,
+                    client=eff.client,
+                )
+        elif cls is ConfirmApplied:
+            # Only emitted when the transport has the hook (emit_confirm).
+            self._confirm_applied(self.replica_id, eff.src, eff.update)
+        elif cls is Applied:
+            # Only emitted while an on_apply hook is installed.
+            self._on_apply(self, eff.src, eff.update)
+        elif cls is EscalateSync:
+            if self._on_sync_needed is not None:
+                self._on_sync_needed(self.replica_id, eff.reason)
+        elif cls is RollbackChannels:
+            if self._rollback_volatile is not None:
+                self._rollback_volatile(self.replica_id)
+        else:  # pragma: no cover - wiring guard
+            raise ProtocolError(f"unexpected effect {eff!r}")
 
     # ------------------------------------------------------------------
     # Client operations (prototype steps 1-2)
@@ -237,9 +207,7 @@ class Replica:
     def read(self, register: RegisterName) -> Any:
         """Step 1: return the local copy of ``register``."""
         self._require_up()
-        if register not in self.store:
-            raise UnknownRegisterError(register, self.replica_id)
-        return self.store[register]
+        return self._core.read(register)
 
     def write(
         self, register: RegisterName, value: Any, payload: Any = None
@@ -251,68 +219,13 @@ class Replica:
         ``on_apply`` hook at each receiver.
         """
         self._require_up()
-        if register not in self.store:
-            raise UnknownRegisterError(register, self.replica_id)
-        self._seq += 1
-        uid = UpdateId(self.replica_id, self._seq)
-        self.store[register] = value
-        # The local write supersedes any outstanding value debt on the
-        # register, exactly as a newer remote apply would (see _apply):
-        # a stale redelivery paying the debt later would roll the store
-        # back below this write.
-        self._value_debt.pop(register, None)
-        before = self.timestamp
-        if self._advance_delta is not None:
-            self.timestamp, changed = self._advance_delta(before, register)
-            if self.timestamp is not before:
-                self._wake_on_changed(changed)
-        else:
-            self.timestamp = self.policy.advance(before, register)
-            self._wake_after_change(before, self.timestamp)
-        self._note_timestamp()
-        self.metrics.issued += 1
-        now = self.network.simulator.now
-        if self.history is not None:
-            self.history.record_issue(self.replica_id, uid, register, now)
-        for k in self.graph.recipients(self.replica_id, register):
-            self._send_update(k, uid, register, value, payload)
-        return uid
+        return self._core.local_write(register, value, payload=payload)
 
-    def _send_update(
-        self,
-        dst: ReplicaId,
-        uid: UpdateId,
-        register: RegisterName,
-        value: Any,
-        payload: Any = None,
+    def set_dummy_map(
+        self, mapping: Dict[ReplicaId, FrozenSet[RegisterName]]
     ) -> None:
-        # Appendix D: replicas holding `register` only as a dummy receive
-        # metadata without the value.
-        meta_only = register in _dummy_set(self.graph, dst, self._dummy_of(dst))
-        update = Update(
-            uid=uid,
-            register=register,
-            value=None if meta_only else value,
-            timestamp=self.timestamp,
-            metadata_only=meta_only,
-            payload=payload,
-        )
-        # timestamp_wire_bytes memoizes on the (immutable) timestamp, so a
-        # fan-out of N recipients sizes the encoding once, not N times.
-        self.network.send(
-            self.replica_id,
-            dst,
-            update,
-            metadata_counters=len(self.timestamp),
-            wire_bytes=timestamp_wire_bytes(self.timestamp),
-        )
-
-    def set_dummy_map(self, mapping: Dict[ReplicaId, FrozenSet[RegisterName]]) -> None:
         """Install the cluster-wide dummy-register map (system wiring)."""
-        self._dummy_map = dict(mapping)
-
-    def _dummy_of(self, replica: ReplicaId) -> FrozenSet[RegisterName]:
-        return self._dummy_map.get(replica, frozenset())
+        self._core.set_dummy_map(mapping)
 
     # ------------------------------------------------------------------
     # Update reception (prototype steps 3-4)
@@ -326,261 +239,141 @@ class Replica:
             # delivers here (it drops at the physical layer), this guards
             # the plain-Network case.
             return
-        if self.on_sync_needed is not None and self._fifo:
-            seq = self._sender_seq(src, update.timestamp)
-            want = self._next_seq(self.timestamp, src)
-            if seq is not None and want is not None:
-                if seq < want:
-                    # At or below the delivery frontier: the content
-                    # arrived via a snapshot install (or was applied and
-                    # re-sent after a shed).  Never re-apply -- just
-                    # settle any value debt and ack so the sender's
-                    # retransmission stops.
-                    self._discard_stale(src, update)
-                    return
-                if (
-                    self.gap_threshold is not None
-                    and seq - want >= self.gap_threshold
-                ):
-                    # The sender is far ahead: the retransmit prefix was
-                    # truncated or we are freshly recovered.  Catching up
-                    # update-by-update would be O(history); escalate.
-                    self.on_sync_needed(self.replica_id, "gap")
-        self._enqueue(src, update, self.network.simulator.now)
-        if self._pending_total > self.metrics.pending_high_water:
-            self.metrics.pending_high_water = self._pending_total
-        if (
-            self.pending_cap is not None
-            and self.on_sync_needed is not None
-            and self._pending_total >= self.pending_cap
-        ):
-            # Backpressure: shed the whole buffer (the channel layer rolls
-            # the deliveries back so nothing is lost) and escalate to a
-            # state transfer instead of growing without bound.
-            self.shed_pending()
-            self.on_sync_needed(self.replica_id, "overflow")
-            return
-        if not self._paused:
-            self._drain()
-
-    def _discard_stale(self, src: ReplicaId, update: Update) -> None:
-        self.metrics.stale_discarded += 1
-        debt = self._value_debt.get(update.register)
-        if debt is not None and debt == update.uid:
-            if update.register in self.store and not update.metadata_only:
-                self.store[update.register] = update.value
-            del self._value_debt[update.register]
-        if self._confirm_applied is not None:
-            self._confirm_applied(self.replica_id, src, update)
-
-    def _enqueue(self, src: ReplicaId, update: Update, arrived: float) -> None:
-        arrival = self._arrival
-        self._arrival += 1
-        seq = self._sender_seq(src, update.timestamp) if self._fifo else None
-        queue = self._queues.get(src)
-        if queue is None:
-            queue = self._queues[src] = {}
-            if self._fifo:
-                self._seqmaps[src] = {}
-        queue[arrival] = (update, arrived, seq)
-        self._pending_total += 1
-        if self._fifo:
-            seqmap = self._seqmaps[src]
-            if seqmap is not None:
-                if seq is None or seq in seqmap:
-                    # Unindexable or duplicate sequence: this sender's
-                    # queue degrades to linear scanning.
-                    self._seqmaps[src] = None
-                else:
-                    seqmap[seq] = arrival
-        if self._readiness_deps is None:
-            self._deps[src] = None
-        else:
-            deps = self._readiness_deps(src, update.timestamp)
-            prev = self._deps.get(src, deps)
-            self._deps[src] = None if prev is None else prev | deps
-        self._dirty.add(src)
-
-    def _wake_after_change(self, before: Timestamp, after: Timestamp) -> None:
-        """Mark senders whose predicate inputs a timestamp change touched."""
-        if after is before or not self._queues:
-            return
-        self._wake_on_changed(after.diff_keys(before))
-
-    def _wake_on_changed(self, changed: Optional[FrozenSet]) -> None:
-        if not self._queues:
-            return
-        if changed is None:
-            # Unknown delta (incomparable representations): conservatively
-            # recheck every sender.
-            self._dirty.update(self._queues)
-        elif changed:
-            for sender, deps in self._deps.items():
-                if deps is None or deps & changed:
-                    self._dirty.add(sender)
-
-    def _find_candidate(self, sender: ReplicaId) -> Optional[int]:
-        """Arrival key of this sender's (unique) ready update, if any.
-
-        Under an exact sender-edge gap check at most one queued update per
-        sender can satisfy J -- the one carrying the next sequence number
-        -- so a seq-indexed sender resolves in O(1).  Senders that cannot
-        be seq-indexed (no hooks, lax predicates, unindexable entries)
-        scan their queue in arrival order, which preserves the historical
-        semantics for arbitrary predicates.
-        """
-        queue = self._queues.get(sender)
-        if not queue:
-            return None
-        ts = self.timestamp
-        ready = self.policy.ready
-        seqmap = self._seqmaps.get(sender) if self._fifo else None
-        if seqmap is not None:
-            want = self._next_seq(ts, sender)
-            if want is not None:
-                arrival = seqmap.get(want)
-                if arrival is not None and ready(
-                    ts, sender, queue[arrival][0].timestamp
-                ):
-                    return arrival
-                return None
-            # Sender edge untracked locally: fall through to scanning.
-        for arrival, entry in queue.items():
-            if ready(ts, sender, entry[0].timestamp):
-                return arrival
-        return None
-
-    def _drain(self) -> None:
-        """Apply pending updates whose predicate J holds, to fixpoint."""
-        queues = self._queues
-        candidates = self._candidates
-        dirty = self._dirty
-        while True:
-            if dirty:
-                for sender in dirty:
-                    arrival = self._find_candidate(sender)
-                    if arrival is None:
-                        candidates.pop(sender, None)
-                    else:
-                        candidates[sender] = arrival
-                dirty.clear()
-            if not candidates:
-                return
-            # Apply the globally earliest-arrived ready update: identical
-            # order to the historical full-rescan implementation.
-            best_sender = min(candidates, key=candidates.__getitem__)
-            arrival = candidates.pop(best_sender)
-            queue = queues[best_sender]
-            update, arrived, seq = queue.pop(arrival)
-            self._pending_total -= 1
-            if not queue:
-                del queues[best_sender]
-                self._seqmaps.pop(best_sender, None)
-                self._deps.pop(best_sender, None)
-            else:
-                if seq is not None:
-                    seqmap = self._seqmaps.get(best_sender)
-                    if seqmap is not None:
-                        seqmap.pop(seq, None)
-                dirty.add(best_sender)
-            self._apply(best_sender, update, arrived)
-
-    def _apply(self, src: ReplicaId, update: Update, arrived: float) -> None:
-        register = update.register
-        if register in self.store:
-            if not update.metadata_only:
-                # Optional conflict resolution (e.g. last-writer-wins for
-                # the causal+ convergence layer); plain causal memory
-                # just overwrites.
-                if self._value_merge is not None:
-                    self.store[register] = self._value_merge(
-                        self.store[register], update.value
-                    )
-                else:
-                    self.store[register] = update.value
-                # This write supersedes any outstanding value debt on the
-                # register: were the debt paid later (a stale redelivery
-                # can arrive after this), it would roll the store back to
-                # the older value.
-                self._value_debt.pop(register, None)
-        elif register not in self.dummy_registers:
-            raise ProtocolError(
-                f"replica {self.replica_id!r} received update for "
-                f"unstored register {register!r}"
-            )
-        before = self.timestamp
-        if self._merge_delta is not None:
-            self.timestamp, changed = self._merge_delta(
-                before, src, update.timestamp
-            )
-            if self.timestamp is not before:
-                self._wake_on_changed(changed)
-        else:
-            self.timestamp = self.policy.merge(before, src, update.timestamp)
-            self._wake_after_change(before, self.timestamp)
-        self._note_timestamp()
-        now = self.network.simulator.now
-        self.metrics.applied_remote += 1
-        self.metrics.record_apply_delay(now - arrived)
-        if self.history is not None:
-            self.history.record_apply(self.replica_id, update.uid, now)
-        if self._confirm_applied is not None:
-            # Applied state is synchronously durable (write-ahead): tell
-            # the reliable transport so it acks the segment.
-            self._confirm_applied(self.replica_id, src, update)
-        if self.on_apply is not None:
-            self.on_apply(self, src, update)
+        self._core.remote_update(src, update)
 
     # ------------------------------------------------------------------
-    # Pending buffer views (per-sender queues behind a flat facade)
+    # Core state views (delegation keeps the historical surface intact)
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> Dict[RegisterName, Any]:
+        return self._core.store
+
+    @store.setter
+    def store(self, value: Dict[RegisterName, Any]) -> None:
+        self._core.store = value
+
+    @property
+    def timestamp(self) -> Timestamp:
+        return self._core.timestamp
+
+    @timestamp.setter
+    def timestamp(self, value: Timestamp) -> None:
+        self._core.timestamp = value
+
+    @property
+    def metrics(self) -> ReplicaMetrics:
+        return self._core.metrics
+
+    @property
+    def dummy_registers(self) -> FrozenSet[RegisterName]:
+        return self._core.dummy_registers
+
+    @property
+    def on_apply(self) -> Optional[ApplyHook]:
+        return self._on_apply
+
+    @on_apply.setter
+    def on_apply(self, hook: Optional[ApplyHook]) -> None:
+        self._on_apply = hook
+        self._core.emit_applied = hook is not None
+
     @property
     def pending(self) -> List[Tuple[ReplicaId, Update, float]]:
         """Buffered updates as ``(sender, update, arrived)`` in arrival order."""
-        merged: List[Tuple[int, ReplicaId, Update, float]] = [
-            (arrival, sender, update, arrived)
-            for sender, queue in self._queues.items()
-            for arrival, (update, arrived, _) in queue.items()
-        ]
-        merged.sort(key=lambda item: item[0])
-        return [(sender, update, arrived) for _, sender, update, arrived in merged]
+        return self._core.pending
 
     @pending.setter
-    def pending(self, entries: Iterable[Tuple[ReplicaId, Update, float]]) -> None:
-        self._clear_pending()
-        for src, update, arrived in entries:
-            self._enqueue(src, update, arrived)
+    def pending(
+        self, entries: Iterable[Tuple[ReplicaId, Update, float]]
+    ) -> None:
+        self._core.pending = entries
 
-    def _clear_pending(self) -> None:
-        self._queues.clear()
-        self._candidates.clear()
-        self._dirty.clear()
-        self._deps.clear()
-        self._seqmaps.clear()
-        self._pending_total = 0
+    @property
+    def pending_count(self) -> int:
+        return self._core.pending_count
+
+    def queue_stats(self) -> QueueStats:
+        """Delivery-engine queue statistics (see :class:`QueueStats`)."""
+        return self._core.queue_stats()
+
+    @property
+    def _seq(self) -> int:
+        return self._core.seq
+
+    @property
+    def _fifo(self) -> bool:
+        return self._core._fifo
+
+    @property
+    def _advance_delta(self) -> Optional[Callable]:
+        return self._core._advance_delta
+
+    @property
+    def _merge_delta(self) -> Optional[Callable]:
+        return self._core._merge_delta
+
+    @property
+    def _readiness_deps(self) -> Optional[Callable]:
+        return self._core._readiness_deps
+
+    @property
+    def _seqmaps(self) -> Dict[ReplicaId, Optional[Dict[int, int]]]:
+        return self._core._seqmaps
+
+    @property
+    def _value_merge(self) -> Optional[Callable[[Any, Any], Any]]:
+        return self._core._value_merge
+
+    @_value_merge.setter
+    def _value_merge(self, merge: Optional[Callable[[Any, Any], Any]]) -> None:
+        self._core._value_merge = merge
 
     # ------------------------------------------------------------------
-    # Anti-entropy: shedding and snapshot installation (repro.sync)
+    # Anti-entropy: knobs and state transfer (repro.sync)
     # ------------------------------------------------------------------
+    @property
+    def pending_cap(self) -> Optional[int]:
+        """Pending-buffer bound: reaching it sheds and escalates."""
+        return self._core.pending_cap
+
+    @pending_cap.setter
+    def pending_cap(self, value: Optional[int]) -> None:
+        self._core.pending_cap = value
+
+    @property
+    def gap_threshold(self) -> Optional[int]:
+        """Escalate when a sender runs this far ahead of the frontier."""
+        return self._core.gap_threshold
+
+    @gap_threshold.setter
+    def gap_threshold(self, value: Optional[int]) -> None:
+        self._core.gap_threshold = value
+
+    @property
+    def on_sync_needed(self) -> Optional[Callable[[ReplicaId, str], None]]:
+        """State-transfer escalation handler (installed by the sync layer).
+
+        Installing *any* handler -- even a no-op, as the chaos ablation
+        does -- arms the core's backpressure paths (stale discard, gap
+        escalation, pending-cap shedding).
+        """
+        return self._on_sync_needed
+
+    @on_sync_needed.setter
+    def on_sync_needed(
+        self, handler: Optional[Callable[[ReplicaId, str], None]]
+    ) -> None:
+        self._on_sync_needed = handler
+        self._core.sync_armed = handler is not None
+
     def shed_pending(self) -> int:
         """Drop every buffered update and roll its channel state back.
 
-        The shed entries were delivered but never applied, so the
-        reliable transport still holds them unacked at their senders;
-        rolling the volatile channel state back makes the retransmissions
-        re-deliver them later.  Nothing is lost -- memory is reclaimed
-        now, redelivery (or a covering snapshot) restores the data.
-        Returns the number of entries shed.
+        See :meth:`repro.core.engine.ProtocolCore.shed_pending`; the
+        channel rollback happens through the ``RollbackChannels`` effect
+        when the transport supports it.  Returns the entries shed.
         """
-        shed = self._pending_total
-        if shed == 0:
-            return 0
-        self.metrics.updates_shed += shed
-        self._clear_pending()
-        rollback = getattr(self.network, "rollback_volatile", None)
-        if rollback is not None:
-            rollback(self.replica_id)
-        return shed
+        return self._core.shed_pending()
 
     def install_sync_state(
         self,
@@ -592,44 +385,25 @@ class Replica:
 
         Called by :class:`repro.sync.SyncManager` *after* it has recorded
         the transferred updates in the history and settled the channel
-        state (acks for covered segments, rollback for the rest).  The
-        pending buffer is shed first -- every entry is either covered by
-        the snapshot (stale now) or will be re-delivered by its sender's
-        retransmission -- then the store and timestamp jump to the
-        frontier and normal predicate-J delivery resumes from there.
+        state (acks for covered segments, rollback for the rest).
         """
         self._require_up()
-        self.shed_pending()
-        for register, value in values.items():
-            if register in self.store:
-                self.store[register] = value
-                # A supplied value settles any older debt on the register
-                # (the sync manager only ships values at or above it).
-                self._value_debt.pop(register, None)
-        self.timestamp = timestamp
-        self._note_timestamp()
-        self._value_debt.update(value_debt)
-        self.metrics.syncs += 1
-        if not self._paused:
-            self._drain()
+        self._core.install_sync(timestamp, values, value_debt)
 
     @property
     def value_debt(self) -> Dict[RegisterName, UpdateId]:
         """Registers whose value awaits the debt update's retransmission."""
-        return dict(self._value_debt)
+        return dict(self._core.value_debt)
+
+    @property
+    def _value_debt(self) -> Dict[RegisterName, UpdateId]:
+        # The live ledger (the sync layer and its tests mutate it in
+        # place), as opposed to the defensive copy `value_debt` returns.
+        return self._core.value_debt
 
     def pay_value_debt(self, register: RegisterName, value: Any) -> None:
-        """Settle one value debt out-of-band (anti-entropy fallback).
-
-        Used by :meth:`repro.sync.SyncManager.settle_value_debts` when the
-        debt update's retransmission can never arrive (its segment was
-        truncated out of the sender's log): the value comes straight from
-        a register holder's store instead.
-        """
-        if register in self._value_debt:
-            if register in self.store:
-                self.store[register] = value
-            del self._value_debt[register]
+        """Settle one value debt out-of-band (anti-entropy fallback)."""
+        self._core.pay_value_debt(register, value)
 
     # ------------------------------------------------------------------
     # Pause / resume and snapshots (crash-recovery support)
@@ -640,16 +414,16 @@ class Replica:
         Models a slow or recovering replica.  Channels stay reliable (the
         paper's model has no message loss), so nothing is dropped.
         """
-        self._paused = True
+        self._core.paused = True
 
     def resume(self) -> None:
         """Resume applying; drains everything that became ready."""
-        self._paused = False
-        self._drain()
+        self._core.paused = False
+        self._core.tick()
 
     @property
     def paused(self) -> bool:
-        return self._paused
+        return self._core.paused
 
     # ------------------------------------------------------------------
     # Crash / recovery (fault model)
@@ -679,7 +453,7 @@ class Replica:
         if self._crashed:
             raise ProtocolError(f"replica {self.replica_id!r} is already down")
         self._crashed = True
-        self._clear_pending()
+        self._core.clear_pending()
         crash_hook(self.replica_id)
 
     def recover(self) -> None:
@@ -706,7 +480,7 @@ class Replica:
             replica_id=self.replica_id,
             store=tuple(sorted(self.store.items(), key=lambda kv: str(kv[0]))),
             timestamp=self.timestamp,
-            seq=self._seq,
+            seq=self._core.seq,
             pending=(),
         )
 
@@ -722,7 +496,7 @@ class Replica:
             replica_id=self.replica_id,
             store=tuple(sorted(self.store.items(), key=lambda kv: str(kv[0]))),
             timestamp=self.timestamp,
-            seq=self._seq,
+            seq=self._core.seq,
             pending=tuple(self.pending),
         )
 
@@ -740,40 +514,22 @@ class Replica:
                 f"snapshot of {snapshot.replica_id!r} cannot restore "
                 f"replica {self.replica_id!r}"
             )
-        self.store = dict(snapshot.store)
-        self.timestamp = snapshot.timestamp
-        self._seq = snapshot.seq
-        self.pending = list(snapshot.pending)
-        if not self._paused:
-            self._drain()
+        self._core.store = dict(snapshot.store)
+        self._core.timestamp = snapshot.timestamp
+        self._core.seq = snapshot.seq
+        self._core.pending = list(snapshot.pending)
+        self._core.tick()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def _note_timestamp(self) -> None:
-        if self._timestamps_used is not None:
-            self._timestamps_used.add(self.timestamp)
-
     @property
     def timestamps_used(self) -> FrozenSet[Timestamp]:
         """Distinct timestamp values assigned so far (when tracked)."""
-        if self._timestamps_used is None:
-            raise ProtocolError("timestamp tracking was not enabled")
-        return frozenset(self._timestamps_used)
-
-    @property
-    def pending_count(self) -> int:
-        return self._pending_total
+        return self._core.timestamps_used
 
     def __repr__(self) -> str:
         return (
             f"Replica({self.replica_id!r}, {len(self.store)} registers, "
-            f"{self._pending_total} pending)"
+            f"{self._core.pending_count} pending)"
         )
-
-
-def _dummy_set(
-    graph: ShareGraph, replica: ReplicaId, declared: FrozenSet[RegisterName]
-) -> FrozenSet[RegisterName]:
-    """Registers of ``replica`` that are dummies (declared ∩ stored)."""
-    return declared & graph.registers_at(replica)

@@ -1,0 +1,262 @@
+"""Unit and differential tests for the sans-I/O protocol core.
+
+The unit half drives :class:`~repro.core.engine.ProtocolCore` directly
+with typed events and asserts on the emitted effect stream; the
+differential half runs randomized multi-replica traces through the
+engine and through the naive flat-list oracle
+(:class:`~repro.baselines.legacy.LegacyReplicaCore`, the pre-engine
+O(pending^2) loop) and requires identical apply orders, stores, and
+timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.legacy import LegacyEdgeIndexedPolicy, LegacyReplicaCore
+from repro.core.engine import (
+    Applied,
+    ConfirmApplied,
+    EscalateSync,
+    LocalWrite,
+    ProtocolCore,
+    RecordHistory,
+    RemoteUpdate,
+    RollbackChannels,
+    Send,
+    Tick,
+)
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.errors import ProtocolError, UnknownRegisterError
+
+
+class Harness:
+    """One core with a collecting effect sink and a manual clock."""
+
+    def __init__(self, replica_id, graph, **kwargs):
+        self.effects = []
+        self.now = 0.0
+        self.core = ProtocolCore(
+            replica_id,
+            graph,
+            EdgeIndexedPolicy(graph, replica_id),
+            self.effects.append,
+            clock=lambda: self.now,
+            **kwargs,
+        )
+
+    def take(self, effect_type):
+        taken = [e for e in self.effects if isinstance(e, effect_type)]
+        # Mutate in place: the core holds this list's bound ``append``.
+        self.effects[:] = [
+            e for e in self.effects if not isinstance(e, effect_type)
+        ]
+        return taken
+
+
+@pytest.fixture
+def triangle():
+    return ShareGraph({1: {"x", "y"}, 2: {"x", "z"}, 3: {"y", "z"}})
+
+
+# ----------------------------------------------------------------------
+# Event -> effect unit tests
+# ----------------------------------------------------------------------
+def test_local_write_emits_one_send_per_recipient(triangle):
+    h = Harness(1, triangle, record_history=True)
+    uid = h.core.local_write("x", 5)
+    assert uid.seq == 1 and h.core.seq == 1
+    assert h.core.read("x") == 5
+    sends = h.take(Send)
+    assert [s.dst for s in sends] == [2]  # only replica 2 shares x
+    assert sends[0].update.uid == uid and sends[0].update.value == 5
+    records = h.take(RecordHistory)
+    assert [(r.kind, r.uid) for r in records] == [("issue", uid)]
+    assert not h.effects  # nothing else leaked
+
+
+def test_event_dispatch_covers_all_events(triangle):
+    writer = Harness(1, triangle)
+    receiver = Harness(2, triangle, emit_applied=True)
+    uid = writer.core.handle(LocalWrite("x", "v"))
+    assert uid is not None
+    (send,) = writer.take(Send)
+    receiver.core.handle(RemoteUpdate(1, send.update))
+    (applied,) = receiver.take(Applied)
+    assert applied.update.uid == uid
+    assert receiver.core.handle(Tick()) is None
+    with pytest.raises(ProtocolError):
+        receiver.core.handle("not an event")
+    with pytest.raises(UnknownRegisterError):
+        writer.core.handle(LocalWrite("nope", 1))
+
+
+def test_out_of_order_delivery_buffers_then_applies_in_issue_order(triangle):
+    writer = Harness(1, triangle)
+    receiver = Harness(2, triangle, emit_applied=True)
+    u1 = u2 = None
+    for value in (1, 2):
+        writer.core.local_write("x", value)
+    u1, u2 = (s.update for s in writer.take(Send))
+    receiver.core.remote_update(1, u2)  # FIFO gap: must buffer
+    assert receiver.take(Applied) == []
+    assert receiver.core.pending_count == 1
+    stats = receiver.core.queue_stats()
+    assert (stats.pending_total, stats.senders, stats.indexed_senders) == (1, 1, 1)
+    receiver.core.remote_update(1, u1)  # gap closes: both apply, in order
+    assert [a.update.uid for a in receiver.take(Applied)] == [u1.uid, u2.uid]
+    assert receiver.core.read("x") == 2
+    assert receiver.core.pending_count == 0
+    assert receiver.core.queue_stats().senders == 0
+
+
+def test_paused_core_defers_drain_until_tick(triangle):
+    writer = Harness(1, triangle)
+    receiver = Harness(2, triangle, emit_applied=True)
+    writer.core.local_write("x", 7)
+    (send,) = writer.take(Send)
+    receiver.core.paused = True
+    receiver.core.remote_update(1, send.update)
+    assert receiver.take(Applied) == []
+    receiver.core.paused = False
+    receiver.core.tick()
+    assert [a.update.value for a in receiver.take(Applied)] == [7]
+
+
+# ----------------------------------------------------------------------
+# Backpressure and anti-entropy pre-checks
+# ----------------------------------------------------------------------
+def _updates(graph, writer_id, register, count):
+    h = Harness(writer_id, graph)
+    for value in range(count):
+        h.core.local_write(register, value)
+    return [s.update for s in h.take(Send) if s.dst == 2]
+
+
+def test_stale_redelivery_is_discarded_and_confirmed(triangle):
+    receiver = Harness(2, triangle, emit_confirm=True)
+    receiver.core.sync_armed = True
+    u1, u2 = _updates(triangle, 1, "x", 2)
+    receiver.core.remote_update(1, u1)
+    receiver.core.remote_update(1, u2)
+    assert receiver.core.metrics.applied_remote == 2
+    receiver.take(ConfirmApplied)
+    receiver.core.remote_update(1, u1)  # below the frontier: never re-apply
+    assert receiver.core.metrics.applied_remote == 2
+    assert receiver.core.metrics.stale_discarded == 1
+    (confirm,) = receiver.take(ConfirmApplied)
+    assert confirm.update is u1
+    assert receiver.core.read("x") == 1  # not rolled back
+
+
+def test_sender_gap_escalates_but_still_buffers(triangle):
+    receiver = Harness(2, triangle)
+    receiver.core.sync_armed = True
+    receiver.core.gap_threshold = 2
+    u1, u2, u3 = _updates(triangle, 1, "x", 3)
+    receiver.core.remote_update(1, u3)  # seq 3 vs expected 1: gap of 2
+    assert [e.reason for e in receiver.take(EscalateSync)] == ["gap"]
+    assert receiver.core.pending_count == 1  # enqueued regardless
+
+
+def test_pending_cap_sheds_buffer_and_escalates(triangle):
+    receiver = Harness(2, triangle)
+    receiver.core.sync_armed = True
+    receiver.core.pending_cap = 2
+    u1, u2, u3 = _updates(triangle, 1, "x", 3)
+    receiver.core.remote_update(1, u2)
+    assert receiver.take(EscalateSync) == []
+    receiver.core.remote_update(1, u3)  # hits the cap
+    assert [e.reason for e in receiver.take(EscalateSync)] == ["overflow"]
+    assert [e.shed for e in receiver.take(RollbackChannels)] == [2]
+    assert receiver.core.pending_count == 0
+    assert receiver.core.metrics.updates_shed == 2
+    receiver.core.remote_update(1, u1)  # redelivery proceeds normally
+    assert receiver.core.metrics.applied_remote == 1
+
+
+def test_gating_flags_suppress_effect_allocation(triangle):
+    writer = Harness(1, triangle)  # all gates off
+    receiver = Harness(2, triangle)
+    writer.core.local_write("x", 1)
+    (send,) = writer.take(Send)
+    assert writer.effects == []  # no history records
+    assert send.wire_bytes > 0  # size_wire defaults on
+    writer.core.size_wire = False
+    writer.core.local_write("x", 2)
+    assert writer.take(Send)[0].wire_bytes == 0
+    receiver.core.remote_update(1, send.update)
+    assert receiver.effects == []  # no Applied/Confirm/History emitted
+
+
+# ----------------------------------------------------------------------
+# Differential: engine vs the naive flat-list oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 7, 23, 91])
+def test_engine_matches_naive_rescan_oracle(seed):
+    placements = {
+        1: {"x", "y"},
+        2: {"x", "z"},
+        3: {"y", "z", "w"},
+        4: {"x", "w"},
+    }
+    graph = ShareGraph(placements)
+    rng = random.Random(seed)
+    applied = {rid: [] for rid in placements}
+    legacy_applied = {rid: [] for rid in placements}
+    pool = []  # (dst, src, update) -- index-aligned across both sides
+    legacy_pool = []
+
+    def make_core(rid):
+        def emit(eff):
+            if isinstance(eff, Send):
+                pool.append((eff.dst, rid, eff.update))
+            elif isinstance(eff, Applied):
+                applied[rid].append((eff.src, eff.update.uid))
+
+        return ProtocolCore(
+            rid,
+            graph,
+            EdgeIndexedPolicy(graph, rid),
+            emit,
+            clock=lambda: 0.0,
+            emit_applied=True,
+        )
+
+    cores = {rid: make_core(rid) for rid in placements}
+    oracles = {
+        rid: LegacyReplicaCore(rid, graph, LegacyEdgeIndexedPolicy(graph, rid))
+        for rid in placements
+    }
+    replicas = sorted(placements)
+
+    def deliver(index):
+        dst, src, update = pool.pop(index)
+        l_dst, l_src, l_update = legacy_pool.pop(index)
+        assert (dst, src, update.uid) == (l_dst, l_src, l_update.uid)
+        cores[dst].remote_update(src, update)
+        for sender, applied_update in oracles[dst].remote_update(l_src, l_update):
+            legacy_applied[dst].append((sender, applied_update.uid))
+
+    for step in range(60):
+        writer = rng.choice(replicas)
+        register = rng.choice(sorted(placements[writer]))
+        cores[writer].local_write(register, step)
+        legacy_pool.extend(
+            (dst, writer, update)
+            for dst, update in oracles[writer].local_write(register, step)
+        )
+        while pool and rng.random() < 0.6:
+            deliver(rng.randrange(len(pool)))
+    while pool:
+        deliver(rng.randrange(len(pool)))
+
+    for rid in placements:
+        assert applied[rid] == legacy_applied[rid]
+        assert cores[rid].store == oracles[rid].store
+        assert cores[rid].timestamp == oracles[rid].timestamp
+        assert cores[rid].pending_count == 0
+        assert not oracles[rid].pending
