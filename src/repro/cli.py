@@ -8,6 +8,7 @@ Commands
 ``race``         run the Theorem 8 adversarial race on a witness edge
 ``chaos``        sweep a fault-injection campaign (loss/dup/crash) over seeds
 ``bench``        protocol throughput benchmarks (BENCH_protocol.json)
+``cluster``      real-socket TCP cluster: serve / launch / load / chaos
 """
 
 from __future__ import annotations
@@ -153,6 +154,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos_trial,
     )
 
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name}: {summary}")
+        return 0
+
     # Scenarios default to sync on (they exist to prove it necessary);
     # the classic sweep defaults to sync off, preserving its behaviour.
     sync = args.sync if args.sync is not None else args.scenario is not None
@@ -254,6 +262,137 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
     return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import os
+
+    if args.cluster_command == "serve":
+        from repro.tcp.cluster import serve_replica
+
+        return asyncio.run(serve_replica(args.config, args.replica))
+
+    if args.cluster_command == "launch":
+        from repro.harness.process_chaos import ring_placements
+        from repro.tcp.cluster import ProcessCluster
+
+        placements = ring_placements(args.replicas)
+        cluster = ProcessCluster(placements, args.workdir)
+        cluster.start_all()
+
+        async def boot() -> None:
+            await cluster.wait_ready(timeout=args.timeout)
+
+        try:
+            asyncio.run(boot())
+        except Exception as exc:
+            cluster.terminate_all()
+            print(f"launch failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"cluster of {args.replicas} replicas ready")
+        print(f"  config: {cluster.config_path}")
+        for replica in sorted(cluster.addresses):
+            host, port = cluster.addresses[replica]
+            regs = ",".join(placements[replica])
+            print(f"  {replica}: {host}:{port} stores [{regs}]")
+        if not args.detach:
+            print("running until interrupted (Ctrl-C shuts down cleanly)...")
+            try:
+                asyncio.run(_wait_forever(cluster))
+            except KeyboardInterrupt:
+                pass
+            asyncio.run(cluster.shutdown_all())
+        return 0
+
+    if args.cluster_command == "load":
+        from repro.harness.process_chaos import run_load
+        from repro.tcp.cluster import read_cluster_config
+
+        doc = read_cluster_config(
+            os.path.join(args.workdir, "cluster.json")
+        )
+        addresses = {
+            r: (doc["host"], int(p)) for r, p in doc["ports"].items()
+        }
+        report = asyncio.run(
+            run_load(
+                addresses,
+                doc["placements"],
+                sessions=args.sessions,
+                writes_per_session=args.writes,
+                seed=args.seed,
+            )
+        )
+        print(
+            f"load: {report.ops} writes in {report.duration:.2f}s "
+            f"({report.throughput:.0f} ops/s)"
+        )
+        print(
+            f"  latency p50={report.p50 * 1e3:.1f}ms "
+            f"p95={report.p95 * 1e3:.1f}ms p99={report.p99 * 1e3:.1f}ms"
+        )
+        print(
+            f"  retries={report.retries} failovers={report.failovers}"
+        )
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.report}")
+        return 0
+
+    if args.cluster_command == "chaos":
+        from repro.harness.process_chaos import (
+            ProcessChaosSpec,
+            run_process_chaos_trial,
+            write_report,
+        )
+
+        spec = ProcessChaosSpec(
+            replicas=args.replicas,
+            sessions=args.sessions,
+            writes_per_session=args.writes,
+            seed=args.seed,
+            kills=args.kills,
+            resets=args.resets,
+            settle_timeout=args.settle_timeout,
+        )
+        report = asyncio.run(run_process_chaos_trial(spec, args.workdir))
+        print(
+            f"process chaos: {report.ops} writes, {report.kills} SIGKILLs, "
+            f"{report.resets} connection resets, {report.wal_events} WAL "
+            f"events audited"
+        )
+        print(
+            f"  throughput {report.throughput:.0f} ops/s; latency "
+            f"p50={report.p50 * 1e3:.1f}ms p95={report.p95 * 1e3:.1f}ms "
+            f"p99={report.p99 * 1e3:.1f}ms"
+        )
+        print(
+            f"  retries={report.retries} failovers={report.failovers} "
+            f"resyncs={report.resyncs}"
+        )
+        if report.ok:
+            print("  audit: OK (causal consistency + store convergence)")
+        else:
+            for violation in report.violations:
+                print(f"  VIOLATION: {violation}", file=sys.stderr)
+        if args.report:
+            write_report(report, args.report)
+            print(f"wrote {args.report}")
+        return 0 if report.ok else 1
+
+    print(f"unknown cluster command {args.cluster_command!r}", file=sys.stderr)
+    return 2
+
+
+async def _wait_forever(cluster) -> None:
+    import asyncio
+
+    while any(cluster.alive(r) for r in cluster.processes):
+        await asyncio.sleep(0.5)
 
 
 def cmd_modelcheck(args: argparse.Namespace) -> int:
@@ -365,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--report", default=None, help="write a JSON trial report here"
     )
+    p_chaos.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        dest="list_scenarios",
+        help="print the available --scenario presets and exit",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_bench = sub.add_parser(
@@ -395,6 +540,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional ops/s drop vs the committed document",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="real-socket TCP cluster runtime"
+    )
+    cluster_sub = p_cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    p_serve = cluster_sub.add_parser(
+        "serve", help="run one replica process from a cluster config"
+    )
+    p_serve.add_argument("--config", required=True, help="cluster.json path")
+    p_serve.add_argument("--replica", required=True, help="replica name")
+    p_serve.set_defaults(func=cmd_cluster)
+
+    p_launch = cluster_sub.add_parser(
+        "launch", help="spawn a local multi-process cluster"
+    )
+    p_launch.add_argument("--replicas", type=int, default=3)
+    p_launch.add_argument("--workdir", required=True)
+    p_launch.add_argument("--timeout", type=float, default=20.0)
+    p_launch.add_argument(
+        "--detach",
+        action="store_true",
+        help="return after readiness instead of supervising until Ctrl-C",
+    )
+    p_launch.set_defaults(func=cmd_cluster)
+
+    p_load = cluster_sub.add_parser(
+        "load", help="drive a write burst against a running cluster"
+    )
+    p_load.add_argument(
+        "--workdir", required=True, help="workdir holding cluster.json"
+    )
+    p_load.add_argument("--sessions", type=int, default=4)
+    p_load.add_argument("--writes", type=int, default=50, help="per session")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--report", default=None, help="write JSON here")
+    p_load.set_defaults(func=cmd_cluster)
+
+    p_pchaos = cluster_sub.add_parser(
+        "chaos", help="process-level chaos: SIGKILL, restart, resets"
+    )
+    p_pchaos.add_argument("--workdir", required=True)
+    p_pchaos.add_argument("--replicas", type=int, default=5)
+    p_pchaos.add_argument("--sessions", type=int, default=4)
+    p_pchaos.add_argument("--writes", type=int, default=40, help="per session")
+    p_pchaos.add_argument("--seed", type=int, default=0)
+    p_pchaos.add_argument("--kills", type=int, default=1)
+    p_pchaos.add_argument("--resets", type=int, default=1)
+    p_pchaos.add_argument(
+        "--settle-timeout", type=float, default=45.0, dest="settle_timeout"
+    )
+    p_pchaos.add_argument("--report", default=None, help="write JSON here")
+    p_pchaos.set_defaults(func=cmd_cluster)
 
     p_mc = sub.add_parser(
         "modelcheck", help="exhaustively explore all interleavings"

@@ -75,6 +75,18 @@ class ProtocolError(ReproError):
     """A replica or client observed a protocol invariant violation."""
 
 
+class WireDecodeError(ProtocolError):
+    """Bytes received off the wire could not be decoded.
+
+    Raised (instead of leaking ``struct.error`` / ``IndexError`` /
+    ``UnicodeDecodeError``) for truncated, oversized, or corrupt frames,
+    varints, values, timestamps, updates, and snapshots.  Derives from
+    :class:`ProtocolError` so existing handlers keep working; transports
+    catch it specifically to drop a poisoned connection without tearing
+    down the replica.
+    """
+
+
 class ConsistencyViolation(ReproError):
     """Raised by the checker (in strict mode) on a safety/liveness breach."""
 

@@ -1,0 +1,49 @@
+"""Real-socket TCP cluster runtime.
+
+The fourth runtime adapter over the sans-I/O
+:class:`~repro.core.engine.ProtocolCore`: each replica is an asyncio TCP
+server speaking the :mod:`repro.wire` codec over length-prefixed frames.
+Unlike the simulator/asyncio/client-server runtimes, replicas here live
+in *separate failure domains* (separate processes under ``python -m
+repro cluster``), so the runtime adds what the in-memory runtimes get
+for free:
+
+* a write-ahead log (:mod:`repro.tcp.wal`) making issues and applies
+  durable across SIGKILL, and doubling as the audit trail the
+  consistency checker replays across the whole cluster;
+* per-peer connection supervision (jittered exponential backoff) and a
+  heartbeat failure detector with suspect/alive transitions;
+* cursor-driven anti-entropy: reconnecting peers exchange delivery
+  cursors and replay the unacked suffix of their durable outboxes, and
+  a replica that shed its pending buffer (overflow) or detected a gap
+  escalates by requesting the same replay explicitly (``RESYNC``).
+"""
+
+from repro.tcp.framing import (
+    Frame,
+    FrameType,
+    MAX_FRAME,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from repro.tcp.runtime import LinkEvent, TcpCluster, TcpConfig, TcpReplicaServer
+from repro.tcp.client import ClusterClient, OpResult
+from repro.tcp.wal import WalEntry, WriteAheadLog
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "MAX_FRAME",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "LinkEvent",
+    "TcpCluster",
+    "TcpConfig",
+    "TcpReplicaServer",
+    "ClusterClient",
+    "OpResult",
+    "WalEntry",
+    "WriteAheadLog",
+]

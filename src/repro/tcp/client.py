@@ -1,0 +1,225 @@
+"""Client sessions for the TCP cluster: retry, failover, dedup.
+
+A :class:`ClusterClient` mirrors the guarantees of the simulated
+client-server runtime's sessions over real sockets: every request
+carries a ``(session, request_id)`` pair, the server replays its cached
+response for a duplicate, and the client retries with backoff --
+failing over to the next replica that stores the register when its
+current home stops answering (crashed, partitioned, or restarting).
+
+Within one server incarnation this yields exactly-once writes; across a
+SIGKILL the dedup table dies with the process and a retried write may
+execute twice -- as two updates carrying the *same value*, which the
+store audit treats as equivalent (and real systems call idempotent
+at-least-once delivery).
+
+Per-operation wall-clock latencies are collected so load drivers can
+report p50/p95/p99 without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RetryExhaustedError, WireDecodeError
+from repro.tcp.framing import FrameType, json_frame, read_frame
+from repro.wire.codec import decode_value, encode_value
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """One completed client operation with its measured latency."""
+
+    op: str
+    register: str
+    value: Any
+    uid: Optional[Tuple[str, int]]
+    latency: float
+    replica: str  # which replica finally served it
+    attempts: int
+
+
+@dataclass
+class SessionStats:
+    ops: int = 0
+    retries: int = 0
+    failovers: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+class ClusterClient:
+    """One client session against a set of replica addresses.
+
+    Parameters
+    ----------
+    session:
+        Session identifier (scopes the server-side dedup table).
+    addresses:
+        ``replica name -> (host, port)``; the client walks this in order
+        when failing over.  Mutable on purpose -- a restarted replica
+        may republish a new port.
+    op_timeout, max_attempts, retry_delay:
+        Per-attempt timeout, total attempt budget across failovers, and
+        the pause between attempts.
+    """
+
+    def __init__(
+        self,
+        session: str,
+        addresses: Dict[str, Tuple[str, int]],
+        op_timeout: float = 2.0,
+        max_attempts: int = 20,
+        retry_delay: float = 0.1,
+    ) -> None:
+        self.session = session
+        self.addresses = addresses
+        self.op_timeout = op_timeout
+        self.max_attempts = max_attempts
+        self.retry_delay = retry_delay
+        self.stats = SessionStats()
+        self._request_seq = 0
+        self._conn: Optional[
+            Tuple[str, asyncio.StreamReader, asyncio.StreamWriter]
+        ] = None
+
+    # -- connection management ------------------------------------------
+    async def _connect(self, replica: str) -> None:
+        await self.close()
+        host, port = self.addresses[replica]
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), self.op_timeout
+        )
+        self._conn = (replica, reader, writer)
+
+    async def close(self) -> None:
+        if self._conn is not None:
+            _, _, writer = self._conn
+            self._conn = None
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def _roundtrip(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._conn is not None
+        _, reader, writer = self._conn
+        writer.write(json_frame(FrameType.OP, doc))
+        await asyncio.wait_for(writer.drain(), self.op_timeout)
+        frame = await asyncio.wait_for(read_frame(reader), self.op_timeout)
+        if frame.type is not FrameType.OP_REPLY:
+            raise WireDecodeError(f"expected OP_REPLY, got {frame.type!r}")
+        return frame.json()
+
+    # -- operations ------------------------------------------------------
+    async def write(
+        self, register: str, value: Any, targets: Sequence[str]
+    ) -> OpResult:
+        """Write ``register`` at the first responsive target replica."""
+        self._request_seq += 1
+        doc = {
+            "op": "write",
+            "session": self.session,
+            "request_id": f"{self.session}-{self._request_seq}",
+            "register": register,
+            "value": encode_value(value).hex(),
+        }
+        reply, replica, attempts, latency = await self._with_retries(
+            doc, targets
+        )
+        uid = reply.get("uid")
+        return self._done(
+            OpResult(
+                op="write",
+                register=register,
+                value=value,
+                uid=(uid[0], int(uid[1])) if uid else None,
+                latency=latency,
+                replica=replica,
+                attempts=attempts,
+            )
+        )
+
+    async def read(self, register: str, targets: Sequence[str]) -> OpResult:
+        self._request_seq += 1
+        doc = {
+            "op": "read",
+            "session": self.session,
+            "request_id": f"{self.session}-{self._request_seq}",
+            "register": register,
+        }
+        reply, replica, attempts, latency = await self._with_retries(
+            doc, targets
+        )
+        value, _ = decode_value(bytes.fromhex(reply["value"]))
+        return self._done(
+            OpResult(
+                op="read",
+                register=register,
+                value=value,
+                uid=None,
+                latency=latency,
+                replica=replica,
+                attempts=attempts,
+            )
+        )
+
+    async def status(self, replica: str) -> Dict[str, Any]:
+        await self._connect(replica)
+        return await self._roundtrip({"op": "status"})
+
+    async def admin(self, replica: str, doc: Dict[str, Any]) -> Dict[str, Any]:
+        await self._connect(replica)
+        return await self._roundtrip(doc)
+
+    # -- retry machinery -------------------------------------------------
+    async def _with_retries(
+        self, doc: Dict[str, Any], targets: Sequence[str]
+    ) -> Tuple[Dict[str, Any], str, int, float]:
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        last_error = "no targets"
+        for attempt in range(self.max_attempts):
+            target = targets[attempt % len(targets)]
+            if attempt > 0:
+                self.stats.retries += 1
+                if target != targets[0]:
+                    self.stats.failovers += 1
+                await asyncio.sleep(self.retry_delay)
+            try:
+                current = self._conn[0] if self._conn else None
+                if current != target:
+                    await self._connect(target)
+                reply = await self._roundtrip(doc)
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+                WireDecodeError,
+            ) as exc:
+                last_error = f"{target}: {type(exc).__name__}"
+                await self.close()
+                continue
+            if reply.get("ok"):
+                return reply, target, attempt + 1, loop.time() - started
+            last_error = f"{target}: {reply.get('error')}"
+        raise RetryExhaustedError(
+            f"session {self.session!r} {doc.get('op')} on "
+            f"{doc.get('register')!r} ({last_error})",
+            self.max_attempts,
+        )
+
+    def _done(self, result: OpResult) -> OpResult:
+        self.stats.ops += 1
+        self.stats.latencies.append(result.latency)
+        return result
+
+
+def percentile(latencies: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a latency sample (0.0 when empty)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]

@@ -1,0 +1,122 @@
+"""Length-prefixed framing for the TCP runtime.
+
+Every frame is ``4-byte big-endian length | 1 type byte | payload``.
+The length covers the type byte and payload, and is bounded by
+:data:`MAX_FRAME` so a corrupt peer cannot make a replica allocate
+gigabytes.  Binary frames (``UPDATE``/``ACK``/``RESYNC``) carry
+:mod:`repro.wire` encodings; control and client frames carry small JSON
+documents -- they are off the hot path and benefit from being
+greppable in a packet dump.
+
+Decoding is defensive end to end: malformed lengths, unknown frame
+types, and corrupt payloads raise
+:class:`~repro.errors.WireDecodeError`, which the link layer treats as
+"drop this connection" rather than "crash this replica".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Dict, Tuple
+
+from repro.errors import WireDecodeError
+from repro.wire.varint import decode_uvarint, encode_uvarint
+
+#: Hard bound on one frame's body (type byte + payload).  Snapshot-free
+#: traffic is tiny (updates are tens of bytes); JSON status responses of
+#: large clusters stay far below this too.
+MAX_FRAME = 4 * 1024 * 1024
+
+
+class FrameType(IntEnum):
+    """One byte on the wire; values are part of the protocol."""
+
+    HELLO = 1  # JSON: replica id, incarnation, per-link delivery cursor
+    UPDATE = 2  # varint channel seq | wire-encoded update
+    ACK = 3  # varint cumulative channel seq
+    HEARTBEAT = 4  # empty payload
+    RESYNC = 5  # varint cursor: "replay your outbox above this to me"
+    BYE = 6  # graceful close (peer flushed and is going away)
+    OP = 7  # JSON client/admin request
+    OP_REPLY = 8  # JSON client/admin response
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded frame: the type tag plus its raw payload bytes."""
+
+    type: FrameType
+    payload: bytes
+
+    def json(self) -> Dict[str, Any]:
+        try:
+            doc = json.loads(self.payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireDecodeError(f"malformed JSON frame payload: {exc}") from None
+        if not isinstance(doc, dict):
+            raise WireDecodeError("JSON frame payload must be an object")
+        return doc
+
+    def uvarint(self) -> int:
+        value, offset = decode_uvarint(self.payload, 0)
+        if offset != len(self.payload):
+            raise WireDecodeError("trailing bytes after varint payload")
+        return value
+
+
+def encode_frame(frame_type: FrameType, payload: bytes = b"") -> bytes:
+    body_len = 1 + len(payload)
+    if body_len > MAX_FRAME:
+        raise WireDecodeError(f"frame body {body_len} exceeds MAX_FRAME")
+    return body_len.to_bytes(4, "big") + bytes([frame_type]) + payload
+
+
+def json_frame(frame_type: FrameType, doc: Dict[str, Any]) -> bytes:
+    return encode_frame(
+        frame_type, json.dumps(doc, sort_keys=True).encode("utf-8")
+    )
+
+
+def uvarint_frame(frame_type: FrameType, value: int) -> bytes:
+    return encode_frame(frame_type, encode_uvarint(value))
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Decode one frame body (everything after the length prefix)."""
+    if not body:
+        raise WireDecodeError("empty frame body")
+    try:
+        frame_type = FrameType(body[0])
+    except ValueError:
+        raise WireDecodeError(f"unknown frame type {body[0]}") from None
+    return Frame(frame_type, bytes(body[1:]))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read one length-prefixed frame; raises on EOF or corruption.
+
+    ``asyncio.IncompleteReadError`` propagates on clean EOF mid-stream
+    (the link layer treats it as a disconnect); a corrupt length raises
+    :class:`WireDecodeError` so the connection is dropped as poisoned.
+    """
+    header = await reader.readexactly(4)
+    body_len = int.from_bytes(header, "big")
+    if body_len == 0 or body_len > MAX_FRAME:
+        raise WireDecodeError(f"frame length {body_len} out of bounds")
+    body = await reader.readexactly(body_len)
+    return decode_frame(body)
+
+
+def split_update_payload(payload: bytes) -> Tuple[int, bytes]:
+    """An ``UPDATE`` payload is ``varint chanseq | encoded update``."""
+    chanseq, offset = decode_uvarint(payload, 0)
+    if offset >= len(payload):
+        raise WireDecodeError("update frame has no update bytes")
+    return chanseq, payload[offset:]
+
+
+def update_payload(chanseq: int, update_bytes: bytes) -> bytes:
+    return encode_uvarint(chanseq) + update_bytes

@@ -1,0 +1,934 @@
+"""TCP replica server: the protocol core behind real sockets.
+
+Each replica is one asyncio TCP server.  Peer links are single duplex
+connections (the lexicographically smaller replica id dials, the other
+accepts), supervised with jittered exponential backoff and watched by a
+heartbeat failure detector.  Durability and catch-up follow one rule:
+
+* every issue and every apply is written (and flushed) to the replica's
+  :class:`~repro.tcp.wal.WriteAheadLog` *before* its consequences (the
+  update fan-out, the cumulative ACK) reach the network;
+* every update a replica ever sent sits, wire-encoded, in a per-peer
+  *outbox* keyed by its channel sequence number (``tau[(me, dst)]``),
+  trimmed only by the peer's cumulative ACKs -- and fully rebuilt from
+  the WAL on restart, because replaying the log through a fresh
+  :class:`~repro.core.engine.ProtocolCore` regenerates the original
+  ``Send`` effects;
+* anti-entropy is therefore *cursor replay*: a ``HELLO`` on (re)connect
+  carries the receiver's delivery cursor and the sender streams the
+  unacked suffix of its outbox; a replica that shed its pending buffer
+  (``overflow``), observed a sender far ahead (``gap``), or reconnected
+  after a suspected partition requests the same replay explicitly with
+  ``RESYNC``.
+
+This is the same escalation contract :class:`repro.sync.SyncManager`
+implements for the simulator -- "catching up update-by-update through
+normal channels has failed; transfer state from a durable source" --
+grounded in per-process durable logs instead of the simulator's shared
+history, so it needs no cross-process trust: the checker audits the
+merged WALs afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.engine import (
+    Applied,
+    ConfirmApplied,
+    Effect,
+    EscalateSync,
+    ProtocolCore,
+    RecordHistory,
+    RollbackChannels,
+    Send,
+)
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.errors import ConfigurationError, ProtocolError, WireDecodeError
+from repro.tcp.framing import (
+    Frame,
+    FrameType,
+    encode_frame,
+    json_frame,
+    read_frame,
+    split_update_payload,
+    update_payload,
+    uvarint_frame,
+)
+from repro.tcp.wal import WriteAheadLog
+from repro.types import RegisterName, ReplicaId, Update, UpdateId
+from repro.wire.codec import (
+    canonical_edge_order,
+    decode_update,
+    decode_value,
+    encode_update,
+    encode_value,
+)
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Tuning knobs of the TCP runtime (all durations in seconds)."""
+
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 1.5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    backoff_jitter: float = 0.3  # +/- fraction applied to each delay
+    pending_cap: Optional[int] = 512
+    gap_threshold: Optional[int] = 256
+    drain_timeout: float = 5.0  # graceful-shutdown flush budget
+    hello_timeout: float = 10.0  # first frame on an accepted connection
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A failure-detector or supervisor transition on one peer link.
+
+    ``kind`` is ``"connect"``, ``"disconnect"``, ``"suspect"`` (heartbeat
+    timeout), ``"alive"`` (reconnected after suspicion), or ``"resync"``
+    (anti-entropy replay requested or served).
+    """
+
+    kind: str
+    peer: ReplicaId
+    time: float
+    detail: str = ""
+
+
+class PeerLink:
+    """Supervised duplex connection to one neighbour replica."""
+
+    def __init__(self, server: "TcpReplicaServer", peer: ReplicaId) -> None:
+        self.server = server
+        self.peer = peer
+        self.is_dialer = str(server.replica_id) < str(peer)
+        self.connected = False
+        self.suspected = False
+        self.last_heard = 0.0
+        self.frames_sent = 0
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._token: Optional[object] = None
+
+    # -- transmit --------------------------------------------------------
+    def send_bytes(self, data: bytes) -> bool:
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            return False
+        try:
+            writer.write(data)
+        except (ConnectionError, OSError, RuntimeError):
+            return False
+        self.frames_sent += 1
+        return True
+
+    def send_update(self, chanseq: int, update_bytes: bytes) -> bool:
+        return self.send_bytes(
+            encode_frame(FrameType.UPDATE, update_payload(chanseq, update_bytes))
+        )
+
+    def abort(self) -> None:
+        """Forcibly reset the current connection (no flush, no goodbye)."""
+        writer = self._writer
+        if writer is not None:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writer = None
+        self._token = None
+        if self.connected:
+            self.connected = False
+            self.server._link_event("disconnect", self.peer, "aborted")
+
+    # -- connection lifecycle -------------------------------------------
+    def _attach(self, writer: asyncio.StreamWriter) -> object:
+        if self._writer is not None:
+            self.abort()  # newest connection wins
+        token = object()
+        self._writer = writer
+        self._token = token
+        self.last_heard = self.server._loop_time()
+        return token
+
+    def _detach(self, token: object) -> None:
+        if self._token is not token:
+            return  # a newer connection already replaced this one
+        writer = self._writer
+        self._writer = None
+        self._token = None
+        if writer is not None:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self.connected:
+            self.connected = False
+            self.server._link_event("disconnect", self.peer)
+
+    def send_hello(self) -> None:
+        self.send_bytes(
+            json_frame(
+                FrameType.HELLO,
+                {
+                    "replica": str(self.server.replica_id),
+                    "cursor": self.server.recv_cursor(self.peer),
+                },
+            )
+        )
+
+    async def on_peer_hello(self, doc: Dict[str, Any]) -> None:
+        """Cursor exchange: the reconnect-time anti-entropy entry point."""
+        try:
+            cursor = int(doc["cursor"])
+        except (KeyError, TypeError, ValueError):
+            raise WireDecodeError(f"malformed HELLO from {self.peer!r}")
+        was_suspect = self.suspected
+        self.suspected = False
+        self.connected = True
+        self.last_heard = self.server._loop_time()
+        self.server._link_event("connect", self.peer)
+        if was_suspect:
+            self.server._link_event("alive", self.peer)
+        # The peer's cursor is an implicit cumulative ACK.
+        self.server._note_acked(self.peer, cursor)
+        await self.server._replay_outbox(self, cursor)
+        if was_suspect:
+            # Reconnect after a suspected partition: escalate to an
+            # explicit state pull as well -- the peer may have shed or
+            # truncated on its side while we could not see it.
+            self.server._request_resync(self, "reconnect after suspicion")
+
+    # -- tasks -----------------------------------------------------------
+    async def dial_forever(self) -> None:
+        """Connection supervisor: reconnect with capped, jittered backoff."""
+        attempt = 0
+        while self.server.running:
+            address = self.server.addresses.get(self.peer)
+            if address is None:
+                await asyncio.sleep(self.server._backoff(attempt))
+                attempt += 1
+                continue
+            host, port = address
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(self.server._backoff(attempt))
+                attempt += 1
+                continue
+            token = self._attach(writer)
+            self.send_hello()
+            got_hello = await self.server._read_loop(self, reader, token)
+            self._detach(token)
+            attempt = 0 if got_hello else attempt + 1
+            await asyncio.sleep(self.server._backoff(attempt))
+
+    async def heartbeat_forever(self) -> None:
+        """Failure detector: ping every interval, suspect on silence."""
+        interval = self.server.config.heartbeat_interval
+        timeout = self.server.config.heartbeat_timeout
+        while self.server.running:
+            await asyncio.sleep(interval)
+            if not self.connected:
+                continue
+            silence = self.server._loop_time() - self.last_heard
+            if silence > timeout:
+                self.suspected = True
+                self.server._link_event(
+                    "suspect", self.peer, f"silent for {silence:.2f}s"
+                )
+                self.abort()
+            else:
+                self.send_bytes(encode_frame(FrameType.HEARTBEAT))
+
+
+@dataclass
+class TcpReplicaStats:
+    """Runtime-layer counters (the engine's own live in ``core.metrics``)."""
+
+    resyncs_requested: int = 0
+    resyncs_served: int = 0
+    frames_poisoned: int = 0
+    duplicates_dropped: int = 0
+    wal_replayed: int = 0
+
+
+class TcpReplicaServer:
+    """One replica: asyncio TCP server + protocol core + WAL + links.
+
+    Parameters
+    ----------
+    replica_id, placements:
+        Identity and the cluster-wide register placement (every replica
+        knows the full placement; it is static configuration).
+    addresses:
+        Shared mutable mapping ``replica id -> (host, port)``.  The
+        server publishes its bound address here on :meth:`start` (so
+        ``port=0`` ephemeral binds work in-process) and dialers re-read
+        it on every attempt (so a restarted peer on a new port is found).
+    wal_path:
+        The replica's write-ahead log; replayed on :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        placements: Mapping[ReplicaId, Any],
+        addresses: Dict[ReplicaId, Tuple[str, int]],
+        wal_path: str,
+        config: Optional[TcpConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.graph = (
+            placements
+            if isinstance(placements, ShareGraph)
+            else ShareGraph(placements)
+        )
+        if replica_id not in self.graph:
+            raise ConfigurationError(f"replica {replica_id!r} not in placement")
+        self.replica_id = replica_id
+        self.addresses = addresses
+        self.config = config or TcpConfig()
+        self.host = host
+        self.port = port
+        self.wal = WriteAheadLog(wal_path)
+        self.stats = TcpReplicaStats()
+        self.link_events: List[LinkEvent] = []
+        self.on_link_event: Optional[Callable[[LinkEvent], None]] = None
+        self._rng = random.Random(f"{seed}:{replica_id}")
+        graphs = all_timestamp_graphs(self.graph)
+        self._orders = {
+            rid: canonical_edge_order(graphs[rid].edges)
+            for rid in self.graph.replicas
+        }
+        self._replica_by_name = {str(r): r for r in self.graph.replicas}
+        self._register_by_name = {str(x): x for x in self.graph.registers}
+        policy = EdgeIndexedPolicy(
+            self.graph, replica_id, edges=graphs[replica_id].edges
+        )
+        self.core = ProtocolCore(
+            replica_id,
+            self.graph,
+            policy,
+            self._on_effect,
+            clock=time.time,
+            record_history=True,
+            emit_confirm=True,
+            size_wire=False,
+        )
+        self.core.sync_armed = True
+        self.core.pending_cap = self.config.pending_cap
+        self.core.gap_threshold = self.config.gap_threshold
+        self.links: Dict[ReplicaId, PeerLink] = {
+            peer: PeerLink(self, peer)
+            for peer in self.graph.neighbors(replica_id)
+        }
+        # Durable outbox per peer: channel seq -> wire-encoded update.
+        self._outbox: Dict[ReplicaId, Dict[int, bytes]] = {
+            peer: {} for peer in self.links
+        }
+        self._acked: Dict[ReplicaId, int] = {peer: 0 for peer in self.links}
+        # Channel seqs currently enqueued-but-unapplied per sender (dedup
+        # guard: outbox replays legitimately re-send what is queued, and a
+        # true duplicate enqueue would leave a never-ready pending entry).
+        # An exact set, not a high-water mark: a live send racing an
+        # outbox replay can put seq k on the wire before seq 1.
+        self._enqueued: Dict[ReplicaId, Set[int]] = {}
+        self._update_bytes: Dict[UpdateId, bytes] = {}
+        self._dedup: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._writing_value: Any = None
+        self._apply_uid: Optional[UpdateId] = None
+        self._replaying = False
+        self._accepting_ops = False
+        self.running = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._on_apply: Optional[Callable[..., None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self.wal.open()
+        self._replay_wal()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.port = bound[1]
+        self.addresses[self.replica_id] = (self.host, self.port)
+        self.running = True
+        self._accepting_ops = True
+        for link in self.links.values():
+            if link.is_dialer:
+                self._tasks.append(asyncio.ensure_future(link.dial_forever()))
+            self._tasks.append(asyncio.ensure_future(link.heartbeat_forever()))
+
+    def _replay_wal(self) -> None:
+        """Rebuild core state and outboxes from the durable log."""
+        self._replaying = True
+        try:
+            for entry in self.wal.read():
+                if entry.kind == "issue":
+                    register = self._register_by_name.get(
+                        entry.register, entry.register
+                    )
+                    self._writing_value = entry.value
+                    self.core.local_write(register, entry.value)
+                else:
+                    src = self._replica_by_name.get(entry.src, entry.src)
+                    update = self._decode_update(src, entry.update_bytes)
+                    self.core.remote_update(src, update)
+                self.stats.wal_replayed += 1
+        finally:
+            self._replaying = False
+        if self.core.pending_count:
+            raise ProtocolError(
+                f"WAL replay of {self.wal.path} left "
+                f"{self.core.pending_count} updates undeliverable"
+            )
+        for peer in self.links:
+            self._enqueued[peer] = set()
+
+    async def shutdown(self) -> None:
+        """Graceful: flush unacked outbox suffixes, say BYE, close."""
+        if not self.running:
+            return
+        self._accepting_ops = False
+        deadline = self._loop_time() + self.config.drain_timeout
+        for peer, link in self.links.items():
+            if link.connected:
+                await self._replay_outbox(link, self._acked[peer])
+        while self._loop_time() < deadline and not self._drained():
+            await asyncio.sleep(0.02)
+        for link in self.links.values():
+            link.send_bytes(encode_frame(FrameType.BYE))
+        await asyncio.sleep(0)
+        self._teardown()
+
+    def kill(self) -> None:
+        """Abrupt stop: the in-process analogue of SIGKILL.
+
+        No flush, no BYE, no drain -- only what the WAL already made
+        durable survives, which is exactly the crash contract.
+        """
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self.running = False
+        self._accepting_ops = False
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+        for link in self.links.values():
+            link.abort()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        self.wal.close()
+
+    def _drained(self) -> bool:
+        return all(
+            not outbox or max(outbox) <= self._acked[peer]
+            for peer, outbox in self._outbox.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol-core effect handling
+    # ------------------------------------------------------------------
+    def _on_effect(self, eff: Effect) -> None:
+        cls = eff.__class__
+        if cls is Send:
+            chanseq = eff.update.timestamp.get((self.replica_id, eff.dst))
+            if chanseq is None:  # pragma: no cover - incident edges exist
+                raise ProtocolError(f"no out-edge toward {eff.dst!r}")
+            encoded = encode_update(eff.update, self._orders[self.replica_id])
+            self._outbox[eff.dst][chanseq] = encoded
+            if not self._replaying:
+                self.links[eff.dst].send_update(chanseq, encoded)
+        elif cls is RecordHistory:
+            if eff.kind == "issue":
+                if not self._replaying:
+                    self.wal.append_issue(
+                        str(eff.register), self._writing_value, eff.time
+                    )
+            else:
+                self._apply_uid = eff.uid
+        elif cls is ConfirmApplied:
+            if self._replaying:
+                return
+            if eff.update.uid == self._apply_uid:
+                # A real apply (not a stale-discard confirmation): make it
+                # durable before the ACK can reach the sender.
+                self._apply_uid = None
+                raw = self._update_bytes.pop(eff.update.uid, None)
+                if raw is None:
+                    raw = encode_update(eff.update, self._orders[eff.src])
+                self.wal.append_apply(str(eff.src), raw, time.time())
+            else:
+                self._update_bytes.pop(eff.update.uid, None)
+            link = self.links.get(eff.src)
+            if link is not None:
+                link.send_bytes(
+                    uvarint_frame(FrameType.ACK, self.recv_cursor(eff.src))
+                )
+        elif cls is EscalateSync:
+            if not self._replaying:
+                self._escalate(eff.reason)
+        elif cls is RollbackChannels:
+            # Shed pending updates are unacked at their senders; reset the
+            # dedup guard so their replays are accepted again.
+            for peer in self.links:
+                self._enqueued[peer] = set()
+        elif cls is Applied:
+            if self._on_apply is not None:
+                self._on_apply(self, eff.src, eff.update)
+        else:  # pragma: no cover - no other effects are enabled
+            raise ProtocolError(f"unexpected effect {eff!r}")
+
+    def _escalate(self, reason: str) -> None:
+        """Anti-entropy escalation: ask every reachable peer to replay."""
+        for link in self.links.values():
+            if link.connected:
+                self._request_resync(link, reason)
+
+    def _request_resync(self, link: PeerLink, reason: str) -> None:
+        self.stats.resyncs_requested += 1
+        self._link_event("resync", link.peer, f"requested: {reason}")
+        link.send_bytes(
+            uvarint_frame(FrameType.RESYNC, self.recv_cursor(link.peer))
+        )
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Accepted connection: route by first frame (peer vs client)."""
+        try:
+            first = await asyncio.wait_for(
+                read_frame(reader), self.config.hello_timeout
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            WireDecodeError,
+        ):
+            writer.transport.abort()
+            return
+        if first.type is FrameType.HELLO:
+            try:
+                doc = first.json()
+                peer = self._replica_by_name[doc["replica"]]
+                link = self.links[peer]
+            except (WireDecodeError, KeyError):
+                self.stats.frames_poisoned += 1
+                writer.transport.abort()
+                return
+            token = link._attach(writer)
+            link.send_hello()
+            try:
+                await link.on_peer_hello(doc)
+                await self._read_loop(link, reader, token)
+            except WireDecodeError:
+                self.stats.frames_poisoned += 1
+            finally:
+                link._detach(token)
+        elif first.type is FrameType.OP:
+            await self._client_loop(first, reader, writer)
+        else:
+            writer.transport.abort()
+
+    async def _read_loop(
+        self,
+        link: PeerLink,
+        reader: asyncio.StreamReader,
+        token: object,
+    ) -> bool:
+        """Dispatch peer frames until disconnect; True if HELLO was seen."""
+        got_hello = link.connected
+        while self.running and link._token is token:
+            try:
+                frame = await read_frame(reader)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return got_hello
+            except WireDecodeError:
+                self.stats.frames_poisoned += 1
+                link.abort()
+                return got_hello
+            link.last_heard = self._loop_time()
+            try:
+                if frame.type is FrameType.UPDATE:
+                    chanseq, raw = split_update_payload(frame.payload)
+                    self._on_update(link.peer, chanseq, raw)
+                elif frame.type is FrameType.ACK:
+                    self._note_acked(link.peer, frame.uvarint())
+                elif frame.type is FrameType.HELLO:
+                    await link.on_peer_hello(frame.json())
+                    got_hello = True
+                elif frame.type is FrameType.RESYNC:
+                    self.stats.resyncs_served += 1
+                    self._link_event("resync", link.peer, "serving replay")
+                    await self._replay_outbox(link, frame.uvarint())
+                elif frame.type is FrameType.HEARTBEAT:
+                    pass  # last_heard update above is the whole point
+                elif frame.type is FrameType.BYE:
+                    link.suspected = False  # clean goodbye, not a failure
+                    return got_hello
+                else:
+                    raise WireDecodeError(
+                        f"unexpected peer frame {frame.type!r}"
+                    )
+            except WireDecodeError:
+                self.stats.frames_poisoned += 1
+                link.abort()
+                return got_hello
+        return got_hello
+
+    def _on_update(self, src: ReplicaId, chanseq: int, raw: bytes) -> None:
+        cursor = self.recv_cursor(src)
+        enqueued = self._enqueued.setdefault(src, set())
+        # Applied seqs fall out of the guard as the cursor advances.
+        enqueued.difference_update(
+            {seq for seq in enqueued if seq <= cursor}
+        )
+        if chanseq > cursor and chanseq in enqueued:
+            # Already enqueued (a replay overlapped the live stream);
+            # applying is what will ACK it.
+            self.stats.duplicates_dropped += 1
+            return
+        update = self._decode_update(src, raw)
+        self._update_bytes[update.uid] = raw
+        if chanseq > cursor:
+            enqueued.add(chanseq)
+        # Stale frames (chanseq <= cursor) still go to the core: its
+        # discard path re-confirms them so the sender trims its outbox.
+        self.core.remote_update(src, update)
+
+    def _decode_update(self, src: ReplicaId, raw: bytes) -> Update:
+        update = decode_update(raw, src, self._orders[src])
+        register = self._register_by_name.get(update.register)
+        if register is not None and register != update.register:
+            update = dataclasses.replace(update, register=register)
+        return update
+
+    def _note_acked(self, peer: ReplicaId, cum: int) -> None:
+        if cum > self._acked[peer]:
+            self._acked[peer] = cum
+            outbox = self._outbox[peer]
+            for chanseq in [s for s in outbox if s <= cum]:
+                del outbox[chanseq]
+
+    async def _replay_outbox(self, link: PeerLink, cursor: int) -> None:
+        """Stream the unacked outbox suffix above ``cursor`` to the peer."""
+        floor = max(cursor, self._acked[link.peer])
+        outbox = self._outbox[link.peer]
+        for index, chanseq in enumerate(sorted(outbox)):
+            if chanseq <= floor:
+                continue
+            if not link.send_update(chanseq, outbox[chanseq]):
+                return
+            if index % 64 == 63 and link._writer is not None:
+                try:
+                    await link._writer.drain()
+                except (ConnectionError, OSError):
+                    return
+
+    # ------------------------------------------------------------------
+    # Client / admin operations
+    # ------------------------------------------------------------------
+    async def _client_loop(
+        self,
+        first: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        frame: Optional[Frame] = first
+        try:
+            while frame is not None:
+                if frame.type is not FrameType.OP:
+                    break
+                try:
+                    reply = self._handle_op(frame.json())
+                except WireDecodeError as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                writer.write(json_frame(FrameType.OP_REPLY, reply))
+                await writer.drain()
+                try:
+                    frame = await read_frame(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                    WireDecodeError,
+                ):
+                    frame = None
+        finally:
+            writer.transport.abort()
+
+    def _handle_op(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        op = doc.get("op")
+        request_id = doc.get("request_id")
+        session = doc.get("session")
+        if op == "write":
+            if not self._accepting_ops:
+                return {"ok": False, "error": "not accepting operations"}
+            key = None
+            if session is not None and request_id is not None:
+                key = (str(session), str(request_id))
+                cached = self._dedup.get(key)
+                if cached is not None:
+                    return cached  # exactly-once within this incarnation
+            register = self._register_by_name.get(doc.get("register"))
+            if register is None or register not in self.core.store:
+                return {"ok": False, "error": "unknown register"}
+            try:
+                value, _ = decode_value(bytes.fromhex(doc.get("value", "")))
+            except (ValueError, WireDecodeError):
+                return {"ok": False, "error": "bad value encoding"}
+            self._writing_value = value
+            uid = self.core.local_write(register, value)
+            reply = {
+                "ok": True,
+                "uid": [str(uid.issuer), uid.seq],
+                "request_id": request_id,
+            }
+            if key is not None:
+                self._dedup[key] = reply
+            return reply
+        if op == "read":
+            register = self._register_by_name.get(doc.get("register"))
+            if register is None or register not in self.core.store:
+                return {"ok": False, "error": "unknown register"}
+            return {
+                "ok": True,
+                "value": encode_value(self.core.store[register]).hex(),
+                "request_id": request_id,
+            }
+        if op == "status":
+            return self.status()
+        if op == "reset_link":
+            peer = self._replica_by_name.get(doc.get("peer"))
+            link = self.links.get(peer)
+            if link is None:
+                return {"ok": False, "error": "unknown peer"}
+            link.abort()
+            return {"ok": True}
+        if op == "shutdown":
+            asyncio.ensure_future(self.shutdown())
+            return {"ok": True}
+        if op == "ping":
+            return {"ok": True, "replica": str(self.replica_id)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def status(self) -> Dict[str, Any]:
+        metrics = self.core.metrics
+        return {
+            "ok": True,
+            "replica": str(self.replica_id),
+            "seq": self.core.seq,
+            "pending": self.core.pending_count,
+            "store": {
+                str(x): encode_value(v).hex()
+                for x, v in self.core.store.items()
+            },
+            "timestamp": [
+                [str(a), str(b), n] for (a, b), n in self.core.timestamp.items()
+            ],
+            "links": {
+                str(peer): {
+                    "connected": link.connected,
+                    "suspected": link.suspected,
+                    "outbox": len(self._outbox[peer]),
+                    "acked": self._acked[peer],
+                }
+                for peer, link in self.links.items()
+            },
+            "metrics": {
+                "issued": metrics.issued,
+                "applied_remote": metrics.applied_remote,
+                "stale_discarded": metrics.stale_discarded,
+                "updates_shed": metrics.updates_shed,
+                "resyncs_requested": self.stats.resyncs_requested,
+                "resyncs_served": self.stats.resyncs_served,
+                "wal_replayed": self.stats.wal_replayed,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def recv_cursor(self, peer: ReplicaId) -> int:
+        """Highest channel sequence applied from ``peer`` (durable)."""
+        return self.core.timestamp.get((peer, self.replica_id)) or 0
+
+    @property
+    def store(self) -> Dict[RegisterName, Any]:
+        return self.core.store
+
+    @property
+    def on_apply(self):
+        return self._on_apply
+
+    @on_apply.setter
+    def on_apply(self, hook) -> None:
+        self._on_apply = hook
+        self.core.emit_applied = hook is not None
+
+    async def write(self, register: RegisterName, value: Any) -> UpdateId:
+        """In-process write entry point (tests, benchmarks)."""
+        self._writing_value = value
+        return self.core.local_write(register, value)
+
+    def read(self, register: RegisterName) -> Any:
+        return self.core.read(register)
+
+    def _backoff(self, attempt: int) -> float:
+        cfg = self.config
+        delay = min(
+            cfg.backoff_cap,
+            cfg.backoff_base * (cfg.backoff_factor ** min(attempt, 32)),
+        )
+        return delay * (1.0 + cfg.backoff_jitter * self._rng.uniform(-1.0, 1.0))
+
+    def _loop_time(self) -> float:
+        return asyncio.get_event_loop().time()
+
+    def _link_event(self, kind: str, peer: ReplicaId, detail: str = "") -> None:
+        event = LinkEvent(kind, peer, time.time(), detail)
+        self.link_events.append(event)
+        if self.on_link_event is not None:
+            self.on_link_event(event)
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpReplicaServer({self.replica_id!r}, port={self.port}, "
+            f"{'up' if self.running else 'down'})"
+        )
+
+
+class TcpCluster:
+    """An in-process cluster of :class:`TcpReplicaServer` instances.
+
+    Every replica runs in the *same* event loop over real loopback
+    sockets -- the configuration used by the cross-runtime differential
+    tests, the `tcp-8` benchmark scenario, and the crash-mid-transfer
+    regression test.  Process-level isolation lives in
+    :mod:`repro.tcp.cluster`.
+    """
+
+    def __init__(
+        self,
+        placements: Mapping[ReplicaId, Any],
+        wal_dir: str,
+        config: Optional[TcpConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = (
+            placements
+            if isinstance(placements, ShareGraph)
+            else ShareGraph(placements)
+        )
+        self.wal_dir = wal_dir
+        self.config = config or TcpConfig()
+        self.seed = seed
+        self.addresses: Dict[ReplicaId, Tuple[str, int]] = {}
+        self.servers: Dict[ReplicaId, TcpReplicaServer] = {
+            rid: self._make_server(rid) for rid in self.graph.replicas
+        }
+
+    def _make_server(self, rid: ReplicaId) -> TcpReplicaServer:
+        return TcpReplicaServer(
+            rid,
+            self.graph,
+            self.addresses,
+            wal_path=f"{self.wal_dir}/replica-{rid}.wal",
+            config=self.config,
+            seed=self.seed,
+        )
+
+    async def __aenter__(self) -> "TcpCluster":
+        for server in self.servers.values():
+            await server.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def replica(self, rid: ReplicaId) -> TcpReplicaServer:
+        try:
+            return self.servers[rid]
+        except KeyError:
+            raise ConfigurationError(f"no replica {rid!r}") from None
+
+    async def stop(self) -> None:
+        await asyncio.gather(
+            *(s.shutdown() for s in self.servers.values() if s.running)
+        )
+
+    def kill(self, rid: ReplicaId) -> None:
+        self.replica(rid).kill()
+
+    async def restart(self, rid: ReplicaId) -> TcpReplicaServer:
+        """Boot a fresh server over the dead replica's WAL (crash recovery)."""
+        old = self.replica(rid)
+        if old.running:
+            old.kill()
+        server = self._make_server(rid)
+        self.servers[rid] = server
+        await server.start()
+        return server
+
+    def converged(self) -> bool:
+        """True when every running replica has applied everything sent.
+
+        Per directed edge ``(a, b)`` with both ends up, the sender's own
+        counter equals the receiver's delivery cursor; plus no replica
+        holds buffered updates.  In-flight ACKs do not affect state, so
+        this is exactly store/timestamp convergence.
+        """
+        up = {
+            rid: s for rid, s in self.servers.items() if s.running
+        }
+        for rid, server in up.items():
+            if server.core.pending_count:
+                return False
+        for (a, b) in self.graph.edges:
+            if a in up and b in up:
+                if up[a].core.timestamp.get((a, b)) != up[b].core.timestamp.get(
+                    (a, b)
+                ):
+                    return False
+        return True
+
+    async def settle(self, timeout: float = 30.0) -> None:
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while not self.converged():
+            if loop.time() > deadline:
+                raise ConfigurationError(
+                    "tcp cluster failed to settle within "
+                    f"{timeout}s: { {str(r): s.status() for r, s in self.servers.items()} }"
+                )
+            await asyncio.sleep(0.02)
+
+    def stores(self) -> Dict[ReplicaId, Dict[RegisterName, Any]]:
+        return {
+            rid: dict(server.core.store)
+            for rid, server in self.servers.items()
+        }

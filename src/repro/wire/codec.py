@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from repro.core.timestamp import Timestamp
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, WireDecodeError
 from repro.types import Edge, Update, UpdateId
 from repro.wire.varint import (
     decode_uvarint,
@@ -48,7 +48,7 @@ def decode_timestamp(
     """Decode counters against the shared edge order."""
     count, offset = decode_uvarint(data, offset)
     if count != len(order):
-        raise ProtocolError(
+        raise WireDecodeError(
             f"timestamp length {count} does not match index of {len(order)}"
         )
     counters: Dict[Edge, int] = {}
@@ -104,7 +104,7 @@ def _encode_value(value: Any) -> bytes:
 
 def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
     if offset >= len(data):
-        raise ProtocolError("truncated value")
+        raise WireDecodeError("truncated value")
     tag = data[offset]
     offset += 1
     if tag == _TAG_NONE:
@@ -113,12 +113,30 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         return decode_uvarint(data, offset)
     if tag in (_TAG_STR, _TAG_BYTES):
         length, offset = decode_uvarint(data, offset)
+        if length > len(data) - offset:
+            raise WireDecodeError(
+                f"string/bytes value claims {length} bytes, "
+                f"{len(data) - offset} remain"
+            )
         raw = data[offset : offset + length]
-        if len(raw) != length:
-            raise ProtocolError("truncated string/bytes value")
         offset += length
-        return (raw.decode("utf-8") if tag == _TAG_STR else raw), offset
-    raise ProtocolError(f"unknown value tag {tag}")
+        if tag == _TAG_BYTES:
+            return raw, offset
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"malformed utf-8 string value: {exc}") from None
+    raise WireDecodeError(f"unknown value tag {tag}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Public tagged-primitive encoding (``None``/int>=0/str/bytes)."""
+    return _encode_value(value)
+
+
+def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Public tagged-primitive decoding; returns ``(value, next_offset)``."""
+    return _decode_value(data, offset)
 
 
 # ----------------------------------------------------------------------
@@ -143,6 +161,15 @@ def encode_update(update: Update, order: Sequence[Edge] = None) -> bytes:
 
 
 _sorted_by_name = lambda items: sorted(items, key=lambda kv: str(kv[0]))
+
+
+def _check_count(count: int, data: bytes, offset: int, what: str) -> None:
+    """Reject corrupt counts before looping: every entry costs >= 2 bytes."""
+    if count * 2 > len(data) - offset:
+        raise WireDecodeError(
+            f"{what} count {count} exceeds the {len(data) - offset} "
+            "remaining bytes"
+        )
 
 
 def encode_state_snapshot(
@@ -192,24 +219,26 @@ def decode_state_snapshot(
     ``(store, timestamp, frontiers)``.
     """
     count, offset = decode_uvarint(data, 0)
+    _check_count(count, data, offset, "snapshot frontier")
     frontiers: Dict[Any, int] = {}
     for _ in range(count):
         name, offset = _decode_value(data, offset)
         seq, offset = decode_uvarint(data, offset)
         if name not in replica_names:
-            raise ProtocolError(f"snapshot names unknown replica {name!r}")
+            raise WireDecodeError(f"snapshot names unknown replica {name!r}")
         frontiers[replica_names[name]] = seq
     count, offset = decode_uvarint(data, offset)
+    _check_count(count, data, offset, "snapshot store")
     store: Dict[Any, Any] = {}
     for _ in range(count):
         name, offset = _decode_value(data, offset)
         value, offset = _decode_value(data, offset)
         if name not in register_names:
-            raise ProtocolError(f"snapshot names unknown register {name!r}")
+            raise WireDecodeError(f"snapshot names unknown register {name!r}")
         store[register_names[name]] = value
     ts, offset = decode_timestamp(data, order, offset)
     if offset != len(data):
-        raise ProtocolError("trailing bytes in state snapshot")
+        raise WireDecodeError("trailing bytes in state snapshot")
     return store, ts, frontiers
 
 
@@ -219,14 +248,16 @@ def decode_update(
     """Decode an update from a channel with a known issuer."""
     seq, offset = decode_uvarint(data, 0)
     register, offset = _decode_value(data, offset)
+    if not isinstance(register, str):
+        raise WireDecodeError(f"update register must be a string, got {register!r}")
     if offset >= len(data):
-        raise ProtocolError("truncated update flags")
+        raise WireDecodeError("truncated update flags")
     metadata_only = bool(data[offset])
     offset += 1
     value, offset = _decode_value(data, offset)
     ts, offset = decode_timestamp(data, order, offset)
     if offset != len(data):
-        raise ProtocolError("trailing bytes in update")
+        raise WireDecodeError("trailing bytes in update")
     return Update(
         uid=UpdateId(issuer, seq),
         register=register,

@@ -3,13 +3,18 @@
 Counters are small early in an execution and grow without bound, so a
 variable-length encoding reflects the real metadata cost: a fresh
 timestamp costs one byte per counter, a long-lived one more.
+
+Decoding is defensive: any malformed input -- truncation, an
+over-long continuation chain -- raises the typed
+:class:`~repro.errors.WireDecodeError` rather than a bare built-in
+exception, so transports can treat "bad bytes" as a single condition.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, WireDecodeError
 
 
 def encode_uvarint(value: int) -> bytes:
@@ -34,7 +39,7 @@ def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
     position = offset
     while True:
         if position >= len(data):
-            raise ProtocolError("truncated varint")
+            raise WireDecodeError("truncated varint")
         byte = data[position]
         position += 1
         result |= (byte & 0x7F) << shift
@@ -42,7 +47,7 @@ def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
             return result, position
         shift += 7
         if shift > 63:
-            raise ProtocolError("varint too long")
+            raise WireDecodeError("varint too long")
 
 
 def uvarint_size(value: int) -> int:

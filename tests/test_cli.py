@@ -58,6 +58,47 @@ def test_requires_command():
         main([])
 
 
+def test_chaos_list_scenarios(capsys):
+    assert main(["chaos", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "long-partition:" in out
+    assert "slow-replica:" in out
+
+
+def test_chaos_exits_nonzero_on_violations(capsys):
+    # Retransmit logs truncated to one entry with anti-entropy disabled:
+    # lost updates are unrecoverable, so the campaign must FAIL loudly.
+    code = main(
+        [
+            "chaos",
+            "--topology",
+            "fig3",
+            "--writes",
+            "30",
+            "--horizon",
+            "60",
+            "--loss",
+            "0.5",
+            "--crashes",
+            "0",
+            "--seeds",
+            "1",
+            "--no-sync",
+            "--unacked-cap",
+            "1",
+        ]
+    )
+    assert code == 1
+    assert "FAILED seeds" in capsys.readouterr().out
+
+
+def test_chaos_scenario_preset_passes_with_sync(capsys):
+    code = main(
+        ["chaos", "--scenario", "slow-replica", "--seeds", "1", "--verbose"]
+    )
+    assert code == 0
+
+
 def test_modelcheck_command(capsys):
     assert main(["modelcheck", "--topology", "fig3"]) == 0
     out = capsys.readouterr().out

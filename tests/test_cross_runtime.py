@@ -1,14 +1,16 @@
 """Cross-runtime differential tests over the shared protocol core.
 
 The same seeded workload runs through the simulator runtime
-(:class:`~repro.core.system.DSMSystem`) and the asyncio runtime
-(:class:`~repro.aio.runtime.AioDSMSystem`).  Registers are placed
-pairwise (every register is shared by exactly two replicas), so each
-update has exactly one recipient and the *global* apply order of the
-settled-between-writes phase is transport-independent: both runtimes
-must produce identical applied-update sequences and final stores.  The
-concurrent phase (no settling between writes) only pins the outcome --
-final stores and a clean checker verdict -- since there the interleaving
+(:class:`~repro.core.system.DSMSystem`), the asyncio runtime
+(:class:`~repro.aio.runtime.AioDSMSystem`), and the real-socket TCP
+runtime (:class:`~repro.tcp.runtime.TcpCluster`, loopback, no faults).
+Registers are placed pairwise (every register is shared by exactly two
+replicas), so each update has exactly one recipient and the *global*
+apply order of the settled-between-writes phase is
+transport-independent: all runtimes must produce identical
+applied-update sequences and final stores.  The concurrent phase (no
+settling between writes) only pins the outcome -- final stores and a
+clean checker/convergence verdict -- since there the interleaving
 legitimately depends on transport timing.
 
 Also here: the regression test that the client-server runtime reports
@@ -25,6 +27,7 @@ import pytest
 from repro.aio.runtime import AioDSMSystem
 from repro.clientserver import ClientServerSystem
 from repro.core.system import DSMSystem
+from repro.tcp.runtime import TcpCluster
 
 PLACEMENTS = {1: {"x", "y"}, 2: {"x", "z"}, 3: {"y", "z"}}
 
@@ -83,17 +86,43 @@ def _run_aio(ops, settle_each):
     return asyncio.run(scenario())
 
 
+def _run_tcp(ops, settle_each, wal_dir):
+    async def scenario():
+        applied = []
+        async with TcpCluster(PLACEMENTS, wal_dir) as cluster:
+            for rid in PLACEMENTS:
+                cluster.replica(rid).on_apply = (
+                    lambda replica, src, update: applied.append(
+                        (replica.replica_id, update.uid)
+                    )
+                )
+            for writer, register, value in ops:
+                await cluster.replica(writer).write(register, value)
+                if settle_each:
+                    await cluster.settle(timeout=15)
+            await cluster.settle(timeout=15)
+            stores = {
+                rid: dict(cluster.replica(rid).store) for rid in PLACEMENTS
+            }
+        return applied, stores
+
+    return asyncio.run(scenario())
+
+
 @pytest.mark.parametrize("seed", [2, 17])
-def test_simulator_and_aio_agree_on_sequential_workload(seed):
+def test_runtimes_agree_on_sequential_workload(seed, tmp_path):
     ops = _sequential_workload(seed, steps=24)
     sim_applied, sim_stores = _run_simulator(ops, settle_each=True)
     aio_applied, aio_stores = _run_aio(ops, settle_each=True)
+    tcp_applied, tcp_stores = _run_tcp(ops, settle_each=True, wal_dir=str(tmp_path))
     assert sim_applied == aio_applied  # identical global apply order
+    assert sim_applied == tcp_applied
     assert sim_stores == aio_stores
+    assert sim_stores == tcp_stores
     assert len(sim_applied) == len(ops)  # every update applied exactly once
 
 
-def test_simulator_and_aio_converge_on_concurrent_workload():
+def test_runtimes_converge_on_concurrent_workload(tmp_path):
     # Single writer per register (the placement owner with the lowest id),
     # so last-write order per register is the issue order and the final
     # stores are transport-independent even without settling.
@@ -104,7 +133,9 @@ def test_simulator_and_aio_converge_on_concurrent_workload():
             ops.append((owner, register, f"r{round_no}"))
     _, sim_stores = _run_simulator(ops, settle_each=False)
     _, aio_stores = _run_aio(ops, settle_each=False)
+    _, tcp_stores = _run_tcp(ops, settle_each=False, wal_dir=str(tmp_path))
     assert sim_stores == aio_stores
+    assert sim_stores == tcp_stores
     assert sim_stores[1]["x"] == "r7"
 
 

@@ -1,0 +1,158 @@
+"""Process-level tests: subprocess replicas, SIGKILL, WAL-merged audit.
+
+These spawn real operating-system processes (``python -m repro cluster
+serve``) talking over loopback TCP, so they are slower than the
+in-process suite in ``test_tcp.py`` -- each asserts something only a
+process boundary can: SIGKILL semantics, recovery from a WAL written by
+a *different* process incarnation, and the merged-WAL audit pipeline
+that the chaos harness and CI smoke job rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.share_graph import ShareGraph
+from repro.checker import check_history
+from repro.errors import ProtocolError
+from repro.harness.chaos import store_divergence
+from repro.harness.process_chaos import (
+    ProcessChaosSpec,
+    audit_cluster,
+    merge_wal_histories,
+    ring_placements,
+    run_load,
+    run_process_chaos_trial,
+)
+from repro.tcp.cluster import ProcessCluster
+from repro.tcp.runtime import TcpCluster
+from repro.tcp.wal import read_wal
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# WAL merge audit (in-process: cheap, deterministic)
+# ----------------------------------------------------------------------
+class TestWalMergeAudit:
+    PLACEMENTS = {"a": {"x", "y"}, "b": {"x", "z"}, "c": {"y", "z"}}
+
+    def _converged_wals(self, wal_dir):
+        async def scenario():
+            async with TcpCluster(self.PLACEMENTS, wal_dir) as cluster:
+                await cluster.replica("a").write("x", "vx")
+                await cluster.replica("b").write("x", "vx2")
+                await cluster.replica("c").write("y", "vy")
+                await cluster.settle(timeout=15)
+
+        drive(scenario())
+        return {
+            name: list(read_wal(f"{wal_dir}/replica-{name}.wal"))
+            for name in self.PLACEMENTS
+        }
+
+    def test_merged_history_passes_checker_and_store_audit(self, tmp_path):
+        entries = self._converged_wals(str(tmp_path))
+        graph = ShareGraph(self.PLACEMENTS)
+        history, values, view = merge_wal_histories(graph, entries)
+        result = check_history(history, graph, require_liveness=True)
+        assert result.ok, result.violations
+        assert store_divergence(view, values) == []
+        # Three issues, each applied at issuer + exactly one sharer.
+        assert len(history.updates) == 3
+
+    def test_apply_without_durable_issue_is_loud(self, tmp_path):
+        entries = self._converged_wals(str(tmp_path))
+        graph = ShareGraph(self.PLACEMENTS)
+        # Drop a's issues: b still durably applied a's update, which the
+        # merge must refuse to paper over.
+        entries["a"] = [e for e in entries["a"] if e.kind != "issue"]
+        with pytest.raises(ProtocolError, match="never durably issued"):
+            merge_wal_histories(graph, entries)
+
+    def test_store_divergence_detects_forged_store(self, tmp_path):
+        entries = self._converged_wals(str(tmp_path))
+        graph = ShareGraph(self.PLACEMENTS)
+        _, values, view = merge_wal_histories(graph, entries)
+        view.replicas["a"].store["x"] = "not-what-anyone-wrote"
+        assert store_divergence(view, values) != []
+
+
+def test_ring_placements_shape():
+    placements = ring_placements(5)
+    assert len(placements) == 5
+    graph = ShareGraph({r: set(x) for r, x in placements.items()})
+    for register in graph.registers:
+        assert len(graph.replicas_storing(register)) == 2
+    with pytest.raises(ProtocolError):
+        ring_placements(1)
+
+
+# ----------------------------------------------------------------------
+# Real subprocesses
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestProcessCluster:
+    def test_load_sigkill_recovery_and_audit(self, tmp_path):
+        """Boot 3 replica processes, run a burst, SIGKILL one mid-life,
+        restart it, converge, and audit the WALs of all incarnations."""
+
+        async def scenario():
+            placements = ring_placements(3)
+            cluster = ProcessCluster(placements, str(tmp_path))
+            graph = ShareGraph({r: set(x) for r, x in placements.items()})
+            try:
+                cluster.start_all()
+                await cluster.wait_ready()
+
+                report = await run_load(
+                    cluster.addresses, placements, sessions=2,
+                    writes_per_session=10, seed=3,
+                )
+                assert report.ops == 20
+
+                cluster.sigkill("r1")
+                assert not cluster.alive("r1")
+                cluster.spawn("r1")  # same WAL, same port
+                await cluster.wait_ready()
+
+                report = await run_load(
+                    cluster.addresses, placements, sessions=2,
+                    writes_per_session=10, seed=4,
+                )
+                assert report.ops == 20
+
+                await cluster.settle(timeout=30)
+                await cluster.shutdown_all()
+            finally:
+                cluster.terminate_all()
+
+            violations, events = audit_cluster(cluster, graph)
+            assert violations == []
+            assert events > 0
+
+        drive(scenario())
+
+    def test_full_process_chaos_trial(self, tmp_path):
+        """The acceptance scenario: a 5-replica cluster under load with
+        >= 1 SIGKILL/restart and >= 1 forced connection reset passes the
+        causal-consistency checker and the store-divergence audit."""
+        spec = ProcessChaosSpec(
+            replicas=5,
+            sessions=3,
+            writes_per_session=15,
+            seed=11,
+            kills=1,
+            resets=1,
+        )
+        report = drive(run_process_chaos_trial(spec, str(tmp_path)))
+        assert report.ok, report.violations
+        assert report.kills >= 1
+        assert report.resets >= 1
+        assert report.ops == 45
+        assert report.p99 >= report.p50 > 0
+        assert report.wal_events > 0

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import random
+
 from repro import EdgeIndexedPolicy, ShareGraph, Timestamp
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, WireDecodeError
 from repro.types import Update, UpdateId
 from repro.wire import (
     decode_timestamp,
@@ -16,7 +18,13 @@ from repro.wire import (
     encode_uvarint,
     timestamp_wire_bytes,
 )
-from repro.wire.codec import canonical_edge_order
+from repro.wire.codec import (
+    canonical_edge_order,
+    decode_state_snapshot,
+    decode_value,
+    encode_state_snapshot,
+    encode_value,
+)
 from repro.wire.varint import uvarint_size
 from repro.workloads import fig5_placements
 
@@ -144,3 +152,88 @@ def test_timestamp_roundtrip_property(counters):
     order = canonical_edge_order(ts.index)
     decoded, _ = decode_timestamp(encode_timestamp(ts, order), order)
     assert decoded == ts
+
+
+# ----------------------------------------------------------------------
+# Defensive decoding: mutated bytes never crash with a builtin exception
+# ----------------------------------------------------------------------
+def test_public_value_roundtrip():
+    for value in (None, 0, 2**40, "héllo", b"\x00\xff" * 5):
+        decoded, offset = decode_value(encode_value(value))
+        assert decoded == value
+        assert offset == len(encode_value(value))
+
+
+def test_truncated_and_corrupt_decodes_raise_typed_error():
+    ts = Timestamp({(1, 2): 7, (2, 1): 300})
+    order = canonical_edge_order(ts.index)
+    encoded = encode_timestamp(ts, order)
+    for cut in range(len(encoded)):
+        with pytest.raises(WireDecodeError):
+            decode_timestamp(encoded[:cut] or b"", order)
+    with pytest.raises(WireDecodeError):
+        decode_value(b"")  # empty input
+    with pytest.raises(WireDecodeError):
+        decode_value(bytes([250]))  # unknown tag
+    with pytest.raises(WireDecodeError):
+        decode_value(bytes([2, 200]))  # str claims 200 bytes, has none
+    with pytest.raises(WireDecodeError):
+        decode_value(bytes([2, 2, 0xFF, 0xFE]))  # malformed utf-8
+
+
+def _mutate(rng, data):
+    """One random corruption: truncate, flip a byte, insert, or delete."""
+    data = bytearray(data)
+    op = rng.randrange(4)
+    if op == 0 and data:
+        del data[rng.randrange(len(data)) :]
+    elif op == 1 and data:
+        data[rng.randrange(len(data))] = rng.randrange(256)
+    elif op == 2:
+        data.insert(rng.randrange(len(data) + 1), rng.randrange(256))
+    elif data:
+        del data[rng.randrange(len(data))]
+    return bytes(data)
+
+
+def test_fuzz_mutated_frames_never_crash_decoder():
+    """Seeded fuzz: decoders either round-trip or raise WireDecodeError.
+
+    No mutation may leak ``struct.error``/``IndexError``/``KeyError``/
+    ``UnicodeDecodeError`` -- a transport treats "bad bytes" as exactly
+    one condition.
+    """
+    rng = random.Random(0xC0DEC)
+    graph = ShareGraph(fig5_placements())
+    policy = EdgeIndexedPolicy(graph, 1)
+    order = canonical_edge_order(policy.edges)
+    ts = policy.advance(policy.advance(policy.initial(), "y"), "y")
+    seeds = [
+        encode_update(Update(UpdateId(1, 2), "y", "payload", ts), order),
+        encode_update(
+            Update(UpdateId(1, 3), "y", b"\x01" * 40, ts, metadata_only=True),
+            order,
+        ),
+        encode_timestamp(ts, order),
+        encode_state_snapshot({"y": 9, "x": "s"}, ts, {2: 4, 3: 0}, order),
+        encode_value("some string value"),
+    ]
+    replica_names = {str(r): r for r in graph.replicas}
+    register_names = {str(x): x for x in graph.registers}
+    for blob in seeds:
+        for _ in range(400):
+            mutated = _mutate(rng, blob)
+            for decoder in (
+                lambda b: decode_update(b, 1, order),
+                lambda b: decode_timestamp(b, order),
+                lambda b: decode_state_snapshot(
+                    b, order, replica_names, register_names
+                ),
+                lambda b: decode_value(b),
+            ):
+                try:
+                    decoder(mutated)
+                except WireDecodeError:
+                    pass  # the typed rejection path -- expected
+                except ProtocolError:
+                    pass  # semantic rejection (still typed) is fine too
