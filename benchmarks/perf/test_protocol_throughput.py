@@ -63,6 +63,19 @@ def test_dense_not_slower_than_legacy() -> None:
     )
 
 
+def test_batched_column_reduces_messages() -> None:
+    """The batched column (vectorized kernels + flush window) must ship
+    measurably fewer wire messages on the dense stress case, and still
+    pass the causal-consistency verification run_scenario performs."""
+    doc = bench.run_bench(
+        names=["dense-20"], quick=True, repeats=1, batched=True
+    )
+    opt = doc["optimized"]["dense-20"]
+    bat = doc["batched"]["dense-20"]
+    assert bat["messages"] < opt["messages"]
+    assert doc["speedup_batched"]["dense-20"] > 0
+
+
 def test_regression_check_logic() -> None:
     committed = {"optimized": {"a": {"ops_per_s": 1000.0}}}
     ok = bench.check_regression(

@@ -23,12 +23,15 @@ from typing import Any, Dict, List, Mapping, Tuple
 from repro.core.causality import History
 from repro.core.engine import (
     Applied,
+    BatchAccumulator,
     Effect,
     ProtocolCore,
     QueueStats,
     RecordHistory,
     ReplicaMetrics,
     Send,
+    SendBatch,
+    UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import EdgeIndexedPolicy, Timestamp, TimestampPolicy
@@ -60,13 +63,31 @@ class AioReplica:
             record_history=True,
             size_wire=False,
         )
-        self.inbox: "asyncio.Queue[Tuple[ReplicaId, Update]]" = asyncio.Queue()
+        self.inbox: "asyncio.Queue[Tuple[ReplicaId, Any]]" = asyncio.Queue()
         self._on_apply = None
+        # Send-side batching: coalesce per destination for the system's
+        # flush window (loop seconds); 0 disables it.
+        self._batcher = (
+            BatchAccumulator(system.batch_max)
+            if system.batch_window > 0
+            else None
+        )
+        self._flush_handle: Any = None
 
     # -- effect dispatch -------------------------------------------------
     def _on_effect(self, eff: Effect) -> None:
         cls = eff.__class__
         if cls is Send:
+            if self._batcher is not None:
+                frame = self._batcher.add(eff.dst, eff.update)
+                if frame is not None:
+                    self._post_frame(frame)
+                if self._batcher.pending and self._flush_handle is None:
+                    loop = asyncio.get_running_loop()
+                    self._flush_handle = loop.call_later(
+                        self.system.batch_window, self._flush_batches
+                    )
+                return
             self.system.post(self.replica_id, eff.dst, eff.update)
         elif cls is Applied:
             if self._on_apply is not None:
@@ -82,6 +103,24 @@ class AioReplica:
                 )
         else:  # pragma: no cover - no other effects are enabled
             raise ProtocolError(f"unexpected effect {eff!r}")
+
+    # -- send-side batching ----------------------------------------------
+    def _post_frame(self, frame: SendBatch) -> None:
+        self.system.post(
+            self.replica_id, frame.dst, UpdateBatch(frame.updates)
+        )
+
+    def _flush_batches(self) -> None:
+        self._flush_handle = None
+        if self._batcher is None:
+            return
+        for frame in self._batcher.flush():
+            self._post_frame(frame)
+
+    @property
+    def outbox_pending(self) -> int:
+        """Updates buffered in the send-side batcher (0 when batching is off)."""
+        return 0 if self._batcher is None else self._batcher.pending
 
     # -- core state views ------------------------------------------------
     @property
@@ -125,8 +164,13 @@ class AioReplica:
     async def run(self) -> None:
         """Consume the inbox forever (cancelled by the system)."""
         while True:
-            src, update = await self.inbox.get()
-            self.core.remote_update(src, update)
+            src, message = await self.inbox.get()
+            if isinstance(message, UpdateBatch):
+                self.core.remote_batch(src, message.updates)
+                self.system.events_processed += len(message.updates)
+            else:
+                self.core.remote_update(src, message)
+                self.system.events_processed += 1
             self.system.note_progress()
 
 
@@ -144,6 +188,9 @@ class AioSystemMetrics:
     pending_high_water: int
     mean_apply_delay: float
     max_apply_delay: float
+    #: Updates delivered into the protocol cores (the asyncio analogue of
+    #: the simulator's executed-events counter; feeds the bench row).
+    events_processed: int = 0
 
 
 class AioDSMSystem:
@@ -173,6 +220,9 @@ class AioDSMSystem:
         policy_factory=None,
         seed: int = 0,
         delay_range: Tuple[float, float] = (0.001, 0.02),
+        vectorized: bool = False,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         self.graph = (
             placements
@@ -183,14 +233,28 @@ class AioDSMSystem:
         if not 0 <= lo <= hi:
             raise ConfigurationError("need 0 <= lo <= hi delay bounds")
         self.delay_range = delay_range
+        self.batch_window = batch_window
+        self.batch_max = batch_max
         self.rng = random.Random(seed)
         self.history = History()
         self._start = None  # set on __aenter__
         if policy_factory is None:
             graphs = all_timestamp_graphs(self.graph)
+            if vectorized:
+                from repro.optimizations.vectorized import (
+                    VectorizedEdgeIndexedPolicy,
+                )
 
-            def policy_factory(graph: ShareGraph, rid: ReplicaId):
-                return EdgeIndexedPolicy(graph, rid, edges=graphs[rid].edges)
+                def policy_factory(graph: ShareGraph, rid: ReplicaId):
+                    return VectorizedEdgeIndexedPolicy(
+                        graph, rid, edges=graphs[rid].edges
+                    )
+            else:
+
+                def policy_factory(graph: ShareGraph, rid: ReplicaId):
+                    return EdgeIndexedPolicy(
+                        graph, rid, edges=graphs[rid].edges
+                    )
 
         self.replicas: Dict[ReplicaId, AioReplica] = {
             rid: AioReplica(rid, self.graph, policy_factory(self.graph, rid), self)
@@ -200,6 +264,9 @@ class AioDSMSystem:
         self._in_flight = 0
         self._progress = asyncio.Event()
         self.messages_sent = 0
+        #: Protocol events handled: updates delivered into the cores (the
+        #: asyncio analogue of the simulator's executed-events counter).
+        self.events_processed = 0
 
     # -- lifecycle -------------------------------------------------------
     async def __aenter__(self) -> "AioDSMSystem":
@@ -251,7 +318,8 @@ class AioDSMSystem:
             self._in_flight == 0
             and all(r.inbox.empty() for r in self.replicas.values())
             and all(
-                r.core.pending_count == 0 for r in self.replicas.values()
+                r.core.pending_count == 0 and r.outbox_pending == 0
+                for r in self.replicas.values()
             )
         )
 
@@ -289,6 +357,7 @@ class AioDSMSystem:
             max_apply_delay=max(
                 (r.metrics.apply_delay_max for r in replicas), default=0.0
             ),
+            events_processed=self.events_processed,
         )
 
     def check(self, require_liveness: bool = True):

@@ -245,6 +245,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         compare=args.compare,
         repeats=args.repeats,
+        batched=args.batched,
     )
     print(bench.render(doc))
     if args.output:
@@ -525,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="also run the legacy pre-optimization policy for speedup ratios",
+    )
+    p_bench.add_argument(
+        "--batched",
+        action="store_true",
+        help="also run with vectorized kernels + flush-window batching on",
     )
     p_bench.add_argument("--repeats", type=int, default=3, help="best-of-N")
     p_bench.add_argument(

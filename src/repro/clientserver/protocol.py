@@ -45,12 +45,15 @@ from repro.clientserver.augmented import (
 )
 from repro.core.causality import AccessToken, History
 from repro.core.engine import (
+    BatchAccumulator,
     Effect,
     ProtocolCore,
     QueueStats,
     RecordHistory,
     ReplicaMetrics,
     Send,
+    SendBatch,
+    UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import EdgeIndexedPolicy, Timestamp
@@ -182,6 +185,8 @@ class CSReplica:
         peer_edges: Mapping[ReplicaId, FrozenSet[Edge]],
         network: Network,
         history: Optional[History] = None,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         self.replica_id = replica_id
         self.graph = graph
@@ -190,6 +195,11 @@ class CSReplica:
         self.network = network
         self.history = history
         self.policy = AugmentedServerPolicy(graph, replica_id, edges=edges)
+        self._batch_window = batch_window
+        self._batcher: Optional[BatchAccumulator] = (
+            BatchAccumulator(batch_max) if batch_window > 0 else None
+        )
+        self._flush_scheduled = False
         simulator = network.simulator
         self._core = ProtocolCore(
             replica_id,
@@ -216,6 +226,18 @@ class CSReplica:
     def _on_effect(self, eff: Effect) -> None:
         cls = eff.__class__
         if cls is Send:
+            if self._batcher is not None:
+                frame = self._batcher.add(
+                    eff.dst, eff.update, eff.metadata_counters, 0
+                )
+                if frame is not None:
+                    self._send_frame(frame)
+                if self._batcher.pending and not self._flush_scheduled:
+                    self._flush_scheduled = True
+                    self.network.simulator.schedule(
+                        self._batch_window, self._flush_batches
+                    )
+                return
             self.network.send(
                 self.replica_id,
                 eff.dst,
@@ -236,6 +258,27 @@ class CSReplica:
                 )
         else:  # pragma: no cover - no other effects are enabled
             raise ProtocolError(f"unexpected effect {eff!r}")
+
+    # -- send-side batching ----------------------------------------------
+    def _send_frame(self, frame: SendBatch) -> None:
+        self.network.send(
+            self.replica_id,
+            frame.dst,
+            UpdateBatch(frame.updates),
+            metadata_counters=frame.metadata_counters,
+        )
+
+    def _flush_batches(self) -> None:
+        self._flush_scheduled = False
+        if self._batcher is None:
+            return
+        for frame in self._batcher.flush():
+            self._send_frame(frame)
+
+    @property
+    def outbox_pending(self) -> int:
+        """Updates buffered in the send-side batcher (0 when batching is off)."""
+        return 0 if self._batcher is None else self._batcher.pending
 
     @property
     def store(self) -> Dict[RegisterName, Any]:
@@ -275,6 +318,8 @@ class CSReplica:
     def on_message(self, src: ReplicaId, message: Any) -> None:
         if isinstance(message, Update):
             self._core.remote_update(src, message)
+        elif isinstance(message, UpdateBatch):
+            self._core.remote_batch(src, message.updates)
         elif isinstance(message, (ReadRequest, WriteRequest)):
             self.buffered_requests.append((src, message))
         else:  # pragma: no cover - wiring guard
@@ -621,12 +666,20 @@ class ClientServerSystem:
         timeout: Optional[float] = None,
         max_retries: int = 8,
         retry_backoff: float = 2.0,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         self.graph = (
             placements
             if isinstance(placements, ShareGraph)
             else ShareGraph(placements)
         )
+        if batch_window > 0 and fault_plan is not None:
+            # As in DSMSystem: the ARQ layer acks individual updates and
+            # cannot confirm members of a coalesced frame.
+            raise ConfigurationError(
+                "batch_window requires reliable channels (no fault_plan)"
+            )
         self.assignment = ClientAssignment(self.graph, clients)
         self.simulator = Simulator(seed=seed)
         if fault_plan is not None:
@@ -662,6 +715,8 @@ class ClientServerSystem:
                 peer_edges,
                 self.network,
                 self.history,
+                batch_window=batch_window,
+                batch_max=batch_max,
             )
             for rid in self.graph.replicas
         }

@@ -16,6 +16,7 @@ adapters over this one engine; they translate effects into their own
 transports and never reimplement delivery.
 """
 
+from repro.core.engine.batching import BatchAccumulator, UpdateBatch
 from repro.core.engine.core import ProtocolCore
 from repro.core.engine.effects import (
     Applied,
@@ -25,10 +26,12 @@ from repro.core.engine.effects import (
     RecordHistory,
     RollbackChannels,
     Send,
+    SendBatch,
 )
 from repro.core.engine.events import (
     Event,
     LocalWrite,
+    RemoteBatch,
     RemoteUpdate,
     SyncInstall,
     Tick,
@@ -37,6 +40,7 @@ from repro.core.engine.metrics import QueueStats, ReplicaMetrics
 
 __all__ = [
     "Applied",
+    "BatchAccumulator",
     "ConfirmApplied",
     "Effect",
     "EscalateSync",
@@ -45,10 +49,12 @@ __all__ = [
     "ProtocolCore",
     "QueueStats",
     "RecordHistory",
+    "RemoteBatch",
     "RemoteUpdate",
     "ReplicaMetrics",
     "RollbackChannels",
     "Send",
+    "SendBatch",
     "SyncInstall",
     "Tick",
 ]

@@ -41,6 +41,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -57,6 +58,7 @@ from repro.core.engine.effects import (
 from repro.core.engine.events import (
     Event,
     LocalWrite,
+    RemoteBatch,
     RemoteUpdate,
     SyncInstall,
     Tick,
@@ -84,6 +86,21 @@ _MergeDelta = Callable[
     Tuple[Timestamp, Optional[FrozenSet[Edge]]],
 ]
 _ReadinessDeps = Callable[[ReplicaId, Timestamp], FrozenSet[Edge]]
+#: Whole-queue readiness: index of the first ready timestamp, or None.
+_ReadyMany = Callable[
+    [Timestamp, ReplicaId, Sequence[Timestamp]], Optional[int]
+]
+#: Whole-frame merge: the post-frame timestamp plus raised keys when the
+#: frame is consecutively ready against an empty buffer, else None.
+_MergeRun = Callable[
+    [Timestamp, ReplicaId, Sequence[Timestamp]],
+    Optional[Tuple[Timestamp, Optional[FrozenSet[Edge]]]],
+]
+#: Proof that no queued member can become ready at any frontier up to
+#: the given timestamp (False = cannot prove, take the generic path).
+_BlockedMany = Callable[
+    [Timestamp, ReplicaId, Sequence[Timestamp]], bool
+]
 _SenderSeq = Callable[[ReplicaId, Timestamp], Optional[int]]
 _NextSeq = Callable[[Timestamp, ReplicaId], Optional[int]]
 #: Runtime-specific ``advance`` override (the client-server runtime
@@ -186,6 +203,15 @@ class ProtocolCore:
         self._sender_seq: Optional[_SenderSeq] = getattr(
             policy, "sender_seq", None
         )
+        self._ready_many: Optional[_ReadyMany] = getattr(
+            policy, "ready_many", None
+        )
+        self._merge_run: Optional[_MergeRun] = getattr(
+            policy, "merge_run", None
+        )
+        self._blocked_many: Optional[_BlockedMany] = getattr(
+            policy, "blocked_many", None
+        )
         self._next_seq: Optional[_NextSeq] = getattr(policy, "next_seq", None)
         self._fifo = bool(
             getattr(policy, "exact_sender_fifo", False)
@@ -224,6 +250,10 @@ class ProtocolCore:
         if cls is RemoteUpdate:
             assert isinstance(event, RemoteUpdate)
             self.remote_update(event.src, event.update)
+            return None
+        if cls is RemoteBatch:
+            assert isinstance(event, RemoteBatch)
+            self.remote_batch(event.src, event.updates)
             return None
         if cls is LocalWrite:
             assert isinstance(event, LocalWrite)
@@ -301,6 +331,11 @@ class ProtocolCore:
         # fan-out of N recipients sizes the encoding once, not N times.
         wire = timestamp_wire_bytes(ts) if self.size_wire else 0
         emit = self._emit
+        # Updates are immutable, so one object serves every recipient of
+        # the same flavour (a dense fan-out otherwise allocates dozens of
+        # identical copies per write).
+        full_update: Optional[Update] = None
+        meta_update: Optional[Update] = None
         for k in self.graph.recipients(self.replica_id, register):
             # Appendix D: replicas holding `register` only as a dummy
             # receive metadata without the value.
@@ -310,14 +345,28 @@ class ProtocolCore:
                 and register in declared
                 and register in self.graph.registers_at(k)
             )
-            update = Update(
-                uid=uid,
-                register=register,
-                value=None if meta_only else value,
-                timestamp=ts,
-                metadata_only=meta_only,
-                payload=payload,
-            )
+            if meta_only:
+                if meta_update is None:
+                    meta_update = Update(
+                        uid=uid,
+                        register=register,
+                        value=None,
+                        timestamp=ts,
+                        metadata_only=True,
+                        payload=payload,
+                    )
+                update = meta_update
+            else:
+                if full_update is None:
+                    full_update = Update(
+                        uid=uid,
+                        register=register,
+                        value=value,
+                        timestamp=ts,
+                        metadata_only=False,
+                        payload=payload,
+                    )
+                update = full_update
             emit(Send(k, update, counters, wire))
         return uid
 
@@ -371,10 +420,119 @@ class ProtocolCore:
         if not self.paused:
             self._drain()
 
+    def remote_batch(self, src: ReplicaId, updates: Sequence[Update]) -> None:
+        """Buffer a whole batch frame, then drain once.
+
+        Equivalent to calling :meth:`remote_update` for each member in
+        order: the drain applies ready updates to fixpoint and always
+        picks the globally earliest-arrived candidate, so deferring it to
+        the end of the frame yields the same apply order and final state
+        while running the readiness bookkeeping once per frame.  The
+        stale/gap pre-checks compare against the frontier as of frame
+        arrival (no applies happen mid-frame), which only makes the gap
+        check marginally more eager -- never less safe.  Callers must not
+        place two copies of one update in the same frame; transport-level
+        duplicates arrive as separate frames and are caught by the stale
+        check as usual.
+
+        Fast path: when the pending buffer is empty and the policy
+        offers a ``merge_run`` kernel that proves the whole frame
+        consecutively ready (the overwhelmingly common case on reliable
+        channels), the frame is applied with a single folded merge and
+        one timestamp materialization -- no enqueue, no candidate
+        search, no per-member merge.  Any frame the kernel cannot prove
+        (stale, gapped, or blocked members; scalar fallback) takes the
+        generic path below, which handles every case identically.
+        """
+        arrived = self._clock()
+        if (
+            updates
+            and self._merge_run is not None
+            and not self.paused
+            and self._timestamps_used is None
+        ):
+            count = len(updates)
+            # The generic path's sync pre-checks see member j at gap j
+            # from the frame-start frontier, and its pending-cap check
+            # fires on the transiently buffered frame; mirror both so
+            # the fast path never swallows an escalation the generic
+            # path would have raised.
+            safe = not self.sync_armed or (
+                (self.gap_threshold is None or count <= self.gap_threshold)
+                and (
+                    self.pending_cap is None
+                    or self._pending_total + count < self.pending_cap
+                )
+            )
+            if safe:
+                run = self._merge_run(
+                    self.timestamp, src, [u.timestamp for u in updates]
+                )
+                if run is not None and (
+                    not self._queues or self._queues_blocked_under(run[0])
+                ):
+                    total = self._pending_total + count
+                    if total > self.metrics.pending_high_water:
+                        self.metrics.pending_high_water = total
+                    self._apply_run(src, updates, arrived, run[0])
+                    return
+        if self.sync_armed and self._fifo:
+            assert self._sender_seq is not None and self._next_seq is not None
+            want = self._next_seq(self.timestamp, src)
+            for update in updates:
+                seq = self._sender_seq(src, update.timestamp)
+                if seq is not None and want is not None:
+                    if seq < want:
+                        self._discard_stale(src, update)
+                        continue
+                    if (
+                        self.gap_threshold is not None
+                        and seq - want >= self.gap_threshold
+                    ):
+                        self._emit(EscalateSync("gap"))
+                self._enqueue(src, update, arrived)
+        else:
+            for update in updates:
+                self._enqueue(src, update, arrived)
+        if self._pending_total > self.metrics.pending_high_water:
+            self.metrics.pending_high_water = self._pending_total
+        if (
+            self.pending_cap is not None
+            and self.sync_armed
+            and self._pending_total >= self.pending_cap
+        ):
+            self.shed_pending()
+            self._emit(EscalateSync("overflow"))
+            return
+        if not self.paused:
+            self._drain()
+
     def tick(self) -> None:
         """Re-run the readiness drain (unless paused)."""
         if not self.paused:
             self._drain()
+
+    def _queues_blocked_under(self, final_ts: Timestamp) -> bool:
+        """Prove no buffered update can become ready below ``final_ts``.
+
+        Delegates to the policy's ``blocked_many`` kernel per sender
+        queue; a single unprovable sender aborts (the run fast path then
+        falls back to the generic drain, which interleaves correctly).
+        The pre-state is a drain fixpoint, so every buffered update is
+        unready *now*; this extends that to every frontier the run
+        passes through.
+        """
+        blocked = self._blocked_many
+        if blocked is None:
+            return False
+        for sender, queue in self._queues.items():
+            if not blocked(
+                final_ts,
+                sender,
+                [entry[0].timestamp for entry in queue.values()],
+            ):
+                return False
+        return True
 
     def _discard_stale(self, src: ReplicaId, update: Update) -> None:
         self.metrics.stale_discarded += 1
@@ -464,6 +622,15 @@ class ProtocolCore:
                     return arrival
                 return None
             # Sender edge untracked locally: fall through to scanning.
+        if self._ready_many is not None and len(queue) > 1:
+            # Whole-queue readiness in one comparison (vectorized
+            # policies); returns the first ready entry in arrival order,
+            # exactly like the scalar scan below.
+            arrivals = list(queue)
+            index = self._ready_many(
+                ts, sender, [queue[a][0].timestamp for a in arrivals]
+            )
+            return None if index is None else arrivals[index]
         for arrival, entry in queue.items():
             if ready(ts, sender, entry[0].timestamp):
                 return arrival
@@ -549,6 +716,69 @@ class ProtocolCore:
             self._emit(ConfirmApplied(src, update))
         if self.emit_applied:
             self._emit(Applied(src, update, arrived))
+
+    def _apply_run(
+        self,
+        src: ReplicaId,
+        updates: Sequence[Update],
+        arrived: float,
+        new_ts: Timestamp,
+    ) -> None:
+        """Apply a consecutively-ready frame under one merged timestamp.
+
+        ``new_ts`` is the policy's fold of the whole frame (see
+        ``merge_run``), byte-identical to merging member by member.  The
+        caller has proved no buffered update can become ready at any
+        frontier the run passes through (empty buffer, or the
+        ``blocked_many`` proof), so the generic drain would never have
+        interleaved another sender's update and there is nothing to
+        wake; store writes, metrics, and per-member effects are emitted
+        in exactly the generic order.  The only observable difference is
+        that an effect handler re-entering the core mid-frame reads the
+        post-frame timestamp instead of a mid-frame one -- still a valid
+        causal frontier, and no in-tree adapter does so.
+        """
+        self.timestamp = new_ts
+        self._note_timestamp()
+        store = self.store
+        dummies = self.dummy_registers
+        merge_value = self._value_merge
+        debt = self._value_debt
+        metrics = self.metrics
+        emit = self._emit
+        clock = self._clock
+        record = self.record_history
+        confirm = self.emit_confirm
+        applied = self.emit_applied
+        for update in updates:
+            register = update.register
+            if register in store:
+                if not update.metadata_only:
+                    if merge_value is not None:
+                        store[register] = merge_value(
+                            store[register], update.value
+                        )
+                    else:
+                        store[register] = update.value
+                    debt.pop(register, None)
+            elif register not in dummies:
+                raise ProtocolError(
+                    f"replica {self.replica_id!r} received update for "
+                    f"unstored register {register!r}"
+                )
+            now = clock()
+            metrics.applied_remote += 1
+            metrics.record_apply_delay(now - arrived)
+            if record:
+                emit(RecordHistory("apply", update.uid, register, now))
+            if confirm:
+                emit(ConfirmApplied(src, update))
+            if applied:
+                emit(Applied(src, update, arrived))
+        # An effect handler may have re-entered and buffered updates
+        # (no in-tree adapter does, but the generic path would drain).
+        if self._queues and not self.paused:
+            self._drain()
 
     # ------------------------------------------------------------------
     # Pending buffer views (per-sender queues behind a flat facade)

@@ -19,7 +19,7 @@ runtimes only pay for the effects they use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
 
@@ -35,6 +35,23 @@ class Send:
 
     dst: ReplicaId
     update: Update
+    metadata_counters: int
+    wire_bytes: int
+
+
+@dataclass(slots=True)
+class SendBatch:
+    """Transmit one frame carrying ``updates`` to replica ``dst``.
+
+    Produced by the adapter-side
+    :class:`~repro.core.engine.batching.BatchAccumulator` when a flush
+    window closes; ``metadata_counters`` and ``wire_bytes`` are the sums
+    over the member updates, so transport accounting matches the
+    unbatched path to the byte.
+    """
+
+    dst: ReplicaId
+    updates: Tuple[Update, ...]
     metadata_counters: int
     wire_bytes: int
 
@@ -91,7 +108,13 @@ class RollbackChannels:
 
 
 Effect = Union[
-    Send, RecordHistory, ConfirmApplied, Applied, EscalateSync, RollbackChannels
+    Send,
+    SendBatch,
+    RecordHistory,
+    ConfirmApplied,
+    Applied,
+    EscalateSync,
+    RollbackChannels,
 ]
 
 #: The adapter-supplied effect sink.

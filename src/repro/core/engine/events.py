@@ -19,7 +19,7 @@ equivalently named methods directly -- both run the same code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.timestamp import Timestamp
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
@@ -45,6 +45,21 @@ class RemoteUpdate:
 
 
 @dataclass(frozen=True)
+class RemoteBatch:
+    """One batch frame of updates from a single sender.
+
+    Delivery semantics are identical to feeding the updates as
+    individual :class:`RemoteUpdate` events in order, except the step-4
+    readiness drain runs once after the whole frame is buffered (the
+    drain applies to fixpoint, so the resulting apply order and state
+    are the same -- see ``ProtocolCore.remote_batch``).
+    """
+
+    src: ReplicaId
+    updates: Tuple[Update, ...]
+
+
+@dataclass(frozen=True)
 class SyncInstall:
     """A causally consistent snapshot from the anti-entropy layer."""
 
@@ -58,4 +73,4 @@ class Tick:
     """Re-run the readiness drain (no other state change)."""
 
 
-Event = Union[LocalWrite, RemoteUpdate, SyncInstall, Tick]
+Event = Union[LocalWrite, RemoteUpdate, RemoteBatch, SyncInstall, Tick]

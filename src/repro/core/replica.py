@@ -44,6 +44,7 @@ from typing import (
 from repro.core.causality import History
 from repro.core.engine import (
     Applied,
+    BatchAccumulator,
     ConfirmApplied,
     Effect,
     EscalateSync,
@@ -53,6 +54,8 @@ from repro.core.engine import (
     ReplicaMetrics,
     RollbackChannels,
     Send,
+    SendBatch,
+    UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import Timestamp, TimestampPolicy
@@ -127,6 +130,8 @@ class Replica:
         initial_seq: int = 0,
         initial_store: Optional[Dict[RegisterName, Any]] = None,
         value_merge: Optional[Callable[[Any, Any], Any]] = None,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         self.replica_id = replica_id
         self.graph = graph
@@ -136,6 +141,13 @@ class Replica:
         self._on_apply = on_apply
         self._on_sync_needed: Optional[Callable[[ReplicaId, str], None]] = None
         self._crashed = False
+        # Send-side batching: coalesce Sends per destination for
+        # ``batch_window`` virtual seconds (0 = off, ship immediately).
+        self._batch_window = batch_window
+        self._batcher: Optional[BatchAccumulator] = (
+            BatchAccumulator(batch_max) if batch_window > 0 else None
+        )
+        self._flush_scheduled = False
         # Reliable transports expose crash/recovery, durable-apply
         # confirmation, and volatile-state rollback; on the plain (always
         # reliable) Network these hooks simply do not exist.
@@ -167,6 +179,20 @@ class Replica:
     def _on_effect(self, eff: Effect) -> None:
         cls = eff.__class__
         if cls is Send:
+            if self._batcher is not None:
+                frame = self._batcher.add(
+                    eff.dst, eff.update, eff.metadata_counters, eff.wire_bytes
+                )
+                if frame is not None:
+                    # Destination hit batch_max: ship the full frame now.
+                    self._send_frame(frame)
+                if self._batcher.pending and not self._flush_scheduled:
+                    self._flush_scheduled = True
+                    simulator = self.network.simulator
+                    simulator.schedule(
+                        self._batch_window, self._flush_batches
+                    )
+                return
             self.network.send(
                 self.replica_id,
                 eff.dst,
@@ -202,6 +228,31 @@ class Replica:
             raise ProtocolError(f"unexpected effect {eff!r}")
 
     # ------------------------------------------------------------------
+    # Send-side batching (one frame, many updates)
+    # ------------------------------------------------------------------
+    def _send_frame(self, frame: SendBatch) -> None:
+        self.network.send(
+            self.replica_id,
+            frame.dst,
+            UpdateBatch(frame.updates),
+            metadata_counters=frame.metadata_counters,
+            wire_bytes=frame.wire_bytes,
+        )
+
+    def _flush_batches(self) -> None:
+        """Close the flush window: ship one frame per buffered destination."""
+        self._flush_scheduled = False
+        if self._batcher is None:
+            return
+        for frame in self._batcher.flush():
+            self._send_frame(frame)
+
+    @property
+    def outbox_pending(self) -> int:
+        """Updates buffered in the send-side batcher (0 when batching is off)."""
+        return 0 if self._batcher is None else self._batcher.pending
+
+    # ------------------------------------------------------------------
     # Client operations (prototype steps 1-2)
     # ------------------------------------------------------------------
     def read(self, register: RegisterName) -> Any:
@@ -232,6 +283,11 @@ class Replica:
     # ------------------------------------------------------------------
     def on_message(self, src: ReplicaId, update: Update) -> None:
         """Step 3: buffer the update, then step 4: drain what's ready."""
+        if isinstance(update, UpdateBatch):
+            if self._crashed:
+                return
+            self._core.remote_batch(src, update.updates)
+            return
         if not isinstance(update, Update):  # pragma: no cover - wiring guard
             raise ProtocolError(f"unexpected message {update!r}")
         if self._crashed:
@@ -315,6 +371,18 @@ class Replica:
     @property
     def _readiness_deps(self) -> Optional[Callable]:
         return self._core._readiness_deps
+
+    @property
+    def _ready_many(self) -> Optional[Callable]:
+        return self._core._ready_many
+
+    @property
+    def _merge_run(self) -> Optional[Callable]:
+        return self._core._merge_run
+
+    @property
+    def _blocked_many(self) -> Optional[Callable]:
+        return self._core._blocked_many
 
     @property
     def _seqmaps(self) -> Dict[ReplicaId, Optional[Dict[int, int]]]:
@@ -454,6 +522,9 @@ class Replica:
             raise ProtocolError(f"replica {self.replica_id!r} is already down")
         self._crashed = True
         self._core.clear_pending()
+        if self._batcher is not None:
+            # Unflushed outgoing frames are volatile state too.
+            self._batcher.flush()
         crash_hook(self.replica_id)
 
     def recover(self) -> None:

@@ -143,12 +143,21 @@ class DSMSystem:
         on_apply: Optional[ApplyHook] = None,
         fault_plan: Optional[FaultPlan] = None,
         unacked_cap: Optional[int] = None,
+        vectorized: bool = False,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
     ) -> None:
         self.graph = (
             placements
             if isinstance(placements, ShareGraph)
             else ShareGraph(placements)
         )
+        if batch_window > 0 and fault_plan is not None:
+            # The ARQ layer tracks/acks individual updates; batch frames
+            # would need per-member confirmation matching it does not do.
+            raise ConfigurationError(
+                "batch_window requires reliable channels (no fault_plan)"
+            )
         self.simulator = Simulator(seed=seed)
         if fault_plan is not None:
             self.network: Network = ReliableNetwork(
@@ -178,9 +187,25 @@ class DSMSystem:
                 )
         if policy_factory is None:
             graphs = all_timestamp_graphs(self.graph, max_loop_len=max_loop_len)
+            if vectorized:
+                from repro.optimizations.vectorized import (
+                    VectorizedEdgeIndexedPolicy,
+                )
 
-            def policy_factory(graph: ShareGraph, rid: ReplicaId) -> TimestampPolicy:
-                return EdgeIndexedPolicy(graph, rid, edges=graphs[rid].edges)
+                def policy_factory(
+                    graph: ShareGraph, rid: ReplicaId
+                ) -> TimestampPolicy:
+                    return VectorizedEdgeIndexedPolicy(
+                        graph, rid, edges=graphs[rid].edges
+                    )
+            else:
+
+                def policy_factory(
+                    graph: ShareGraph, rid: ReplicaId
+                ) -> TimestampPolicy:
+                    return EdgeIndexedPolicy(
+                        graph, rid, edges=graphs[rid].edges
+                    )
 
         self.replicas: Dict[ReplicaId, Replica] = {}
         for rid in self.graph.replicas:
@@ -193,9 +218,21 @@ class DSMSystem:
                 dummy_registers=dummy_map.get(rid, frozenset()),
                 on_apply=on_apply,
                 track_timestamps=track_timestamps,
+                batch_window=batch_window,
+                batch_max=batch_max,
             )
         for replica in self.replicas.values():
             replica.set_dummy_map(dummy_map)
+        # Vectorized policies compile per-sender position plans; doing it
+        # at wiring time (deterministic, index-only work) keeps the first
+        # frame from every sender off the compilation stall.
+        peer_policies = {
+            rid: replica.policy for rid, replica in self.replicas.items()
+        }
+        for replica in self.replicas.values():
+            prewarm = getattr(replica.policy, "prewarm", None)
+            if prewarm is not None:
+                prewarm(peer_policies)
         self._clients: Dict[ReplicaId, Client] = {
             rid: Client(replica) for rid, replica in self.replicas.items()
         }
@@ -237,11 +274,14 @@ class DSMSystem:
         self.simulator.run(until=until, max_events=max_events)
 
     def quiescent(self) -> bool:
-        """True when nothing is in flight, unacked, or pending."""
+        """True when nothing is in flight, unacked, pending, or unflushed."""
         return (
             self.network.stats.in_flight == 0
             and getattr(self.network, "idle", True)
-            and all(r.pending_count == 0 for r in self.replicas.values())
+            and all(
+                r.pending_count == 0 and r.outbox_pending == 0
+                for r in self.replicas.values()
+            )
         )
 
     # ------------------------------------------------------------------

@@ -74,7 +74,7 @@ class Timestamp:
     policies use on the hot path.
     """
 
-    __slots__ = ("_eindex", "_values", "_hash", "_wire_size")
+    __slots__ = ("_eindex", "_values", "_hash", "_wire_size", "_np")
 
     def __init__(self, counters: Mapping[Edge, int]) -> None:
         eindex = EdgeIndex.of(counters.keys())
@@ -84,6 +84,10 @@ class Timestamp:
         )
         self._hash: Optional[int] = None
         self._wire_size: Optional[int] = None
+        # Lazily built int64 ndarray view of ``_values``, owned by the
+        # vectorized kernels (repro.optimizations.vectorized).  The tuple
+        # stays the source of truth for equality/hash/wire semantics.
+        self._np: Optional[object] = None
 
     @classmethod
     def from_array(
@@ -95,6 +99,7 @@ class Timestamp:
         ts._values = tuple(values)
         ts._hash = None
         ts._wire_size = None
+        ts._np = None
         return ts
 
     @classmethod

@@ -140,6 +140,118 @@ class ClusterClient:
             )
         )
 
+    async def write_pipelined(
+        self,
+        ops: Sequence[Tuple[str, Any]],
+        targets: Sequence[str],
+        window: int = 16,
+    ) -> List[OpResult]:
+        """Write ``(register, value)`` ops with up to ``window`` in flight.
+
+        Instead of write-await-write, up to ``window`` requests are on
+        the connection before the first reply is awaited; replies are
+        matched FIFO (one server handles one connection's OP frames in
+        order) and cross-checked by ``request_id``.  Per-op latency is
+        measured from the op's own send, so queueing inside the window
+        is visible in the percentiles.
+
+        Fault handling degrades, never loses: on any connection error,
+        mismatched reply, or server-side rejection, every op not yet
+        confirmed is re-driven through the sequential retry/failover
+        path *reusing its request id*, so the server's dedup table keeps
+        the pipelined attempt and the retry from both executing.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        docs: List[Dict[str, Any]] = []
+        for register, value in ops:
+            self._request_seq += 1
+            docs.append(
+                {
+                    "op": "write",
+                    "session": self.session,
+                    "request_id": f"{self.session}-{self._request_seq}",
+                    "register": register,
+                    "value": encode_value(value).hex(),
+                }
+            )
+        loop = asyncio.get_event_loop()
+        results: List[Optional[OpResult]] = [None] * len(docs)
+        sent_at: Dict[int, float] = {}
+        next_send = 0
+        next_recv = 0
+        try:
+            current = self._conn[0] if self._conn else None
+            if current != targets[0]:
+                await self._connect(targets[0])
+            assert self._conn is not None
+            replica, reader, writer = self._conn
+            while next_recv < len(docs):
+                while (
+                    next_send < len(docs)
+                    and next_send - next_recv < window
+                ):
+                    sent_at[next_send] = loop.time()
+                    writer.write(json_frame(FrameType.OP, docs[next_send]))
+                    next_send += 1
+                await asyncio.wait_for(writer.drain(), self.op_timeout)
+                frame = await asyncio.wait_for(
+                    read_frame(reader), self.op_timeout
+                )
+                if frame.type is not FrameType.OP_REPLY:
+                    raise WireDecodeError(
+                        f"expected OP_REPLY, got {frame.type!r}"
+                    )
+                reply = frame.json()
+                doc = docs[next_recv]
+                if (
+                    not reply.get("ok")
+                    or reply.get("request_id") != doc["request_id"]
+                ):
+                    raise WireDecodeError(
+                        f"pipelined reply rejected or out of order: {reply}"
+                    )
+                uid = reply.get("uid")
+                results[next_recv] = self._done(
+                    OpResult(
+                        op="write",
+                        register=doc["register"],
+                        value=ops[next_recv][1],
+                        uid=(uid[0], int(uid[1])) if uid else None,
+                        latency=loop.time() - sent_at[next_recv],
+                        replica=replica,
+                        attempts=1,
+                    )
+                )
+                next_recv += 1
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            WireDecodeError,
+        ):
+            await self.close()
+        for index in range(next_recv, len(docs)):
+            doc = docs[index]
+            started = loop.time()
+            reply, replica, attempts, _ = await self._with_retries(
+                doc, targets
+            )
+            uid = reply.get("uid")
+            results[index] = self._done(
+                OpResult(
+                    op="write",
+                    register=doc["register"],
+                    value=ops[index][1],
+                    uid=(uid[0], int(uid[1])) if uid else None,
+                    latency=loop.time() - started,
+                    replica=replica,
+                    attempts=attempts + 1,
+                )
+            )
+        return [r for r in results if r is not None]
+
     async def read(self, register: str, targets: Sequence[str]) -> OpResult:
         self._request_seq += 1
         doc = {

@@ -20,7 +20,7 @@ import asyncio
 import json
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import WireDecodeError
 from repro.wire.varint import decode_uvarint, encode_uvarint
@@ -42,6 +42,7 @@ class FrameType(IntEnum):
     BYE = 6  # graceful close (peer flushed and is going away)
     OP = 7  # JSON client/admin request
     OP_REPLY = 8  # JSON client/admin response
+    UPDATE_BATCH = 9  # varint count | (varint chanseq | varint len | update)*
 
 
 @dataclass(frozen=True)
@@ -120,3 +121,44 @@ def split_update_payload(payload: bytes) -> Tuple[int, bytes]:
 
 def update_payload(chanseq: int, update_bytes: bytes) -> bytes:
     return encode_uvarint(chanseq) + update_bytes
+
+
+def batch_payload(members: "List[Tuple[int, bytes]]") -> bytes:
+    """An ``UPDATE_BATCH`` payload: Nagle-coalesced updates on one link.
+
+    Layout: ``varint count | (varint chanseq | varint len | update)*``.
+    Per-member chanseqs are kept (rather than a base + run) because the
+    outbox may replay a non-contiguous suffix after a reconnect.
+    """
+    out = bytearray(encode_uvarint(len(members)))
+    for chanseq, update_bytes in members:
+        out += encode_uvarint(chanseq)
+        out += encode_uvarint(len(update_bytes))
+        out += update_bytes
+    return bytes(out)
+
+
+def split_batch_payload(payload: bytes) -> "List[Tuple[int, bytes]]":
+    """Decode an ``UPDATE_BATCH`` payload into ``(chanseq, bytes)`` pairs."""
+    count, offset = decode_uvarint(payload, 0)
+    if count * 2 > len(payload) - offset:
+        raise WireDecodeError(
+            f"batch count {count} exceeds the {len(payload) - offset} "
+            "remaining bytes"
+        )
+    members: List[Tuple[int, bytes]] = []
+    for _ in range(count):
+        chanseq, offset = decode_uvarint(payload, offset)
+        length, offset = decode_uvarint(payload, offset)
+        if length == 0:
+            raise WireDecodeError("batch member has no update bytes")
+        if length > len(payload) - offset:
+            raise WireDecodeError(
+                f"batch member claims {length} bytes, "
+                f"{len(payload) - offset} remain"
+            )
+        members.append((chanseq, payload[offset : offset + length]))
+        offset += length
+    if offset != len(payload):
+        raise WireDecodeError("trailing bytes in update batch frame")
+    return members

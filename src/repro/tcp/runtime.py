@@ -55,9 +55,11 @@ from repro.errors import ConfigurationError, ProtocolError, WireDecodeError
 from repro.tcp.framing import (
     Frame,
     FrameType,
+    batch_payload,
     encode_frame,
     json_frame,
     read_frame,
+    split_batch_payload,
     split_update_payload,
     update_payload,
     uvarint_frame,
@@ -87,6 +89,15 @@ class TcpConfig:
     gap_threshold: Optional[int] = 256
     drain_timeout: float = 5.0  # graceful-shutdown flush budget
     hello_timeout: float = 10.0  # first frame on an accepted connection
+    #: Nagle-style flush window for peer links (seconds); 0 sends every
+    #: update as its own frame.  When on, the WAL runs in buffered mode
+    #: (one flush per batch, still strictly before any ack or frame that
+    #: depends on the buffered records leaves the process).
+    batch_window: float = 0.0
+    batch_max: int = 64  # flush a destination early at this many staged
+    #: Use the numpy-vectorized timestamp kernels (byte-identical to the
+    #: scalar ones; silently scalar when numpy is not installed).
+    vectorized: bool = False
 
 
 @dataclass(frozen=True)
@@ -299,7 +310,9 @@ class TcpReplicaServer:
         self.config = config or TcpConfig()
         self.host = host
         self.port = port
-        self.wal = WriteAheadLog(wal_path)
+        self.wal = WriteAheadLog(
+            wal_path, buffered=(config or TcpConfig()).batch_window > 0
+        )
         self.stats = TcpReplicaStats()
         self.link_events: List[LinkEvent] = []
         self.on_link_event: Optional[Callable[[LinkEvent], None]] = None
@@ -311,9 +324,18 @@ class TcpReplicaServer:
         }
         self._replica_by_name = {str(r): r for r in self.graph.replicas}
         self._register_by_name = {str(x): x for x in self.graph.registers}
-        policy = EdgeIndexedPolicy(
-            self.graph, replica_id, edges=graphs[replica_id].edges
-        )
+        if self.config.vectorized:
+            from repro.optimizations.vectorized import (
+                VectorizedEdgeIndexedPolicy,
+            )
+
+            policy: EdgeIndexedPolicy = VectorizedEdgeIndexedPolicy(
+                self.graph, replica_id, edges=graphs[replica_id].edges
+            )
+        else:
+            policy = EdgeIndexedPolicy(
+                self.graph, replica_id, edges=graphs[replica_id].edges
+            )
         self.core = ProtocolCore(
             replica_id,
             self.graph,
@@ -342,6 +364,16 @@ class TcpReplicaServer:
         # An exact set, not a high-water mark: a live send racing an
         # outbox replay can put seq k on the wire before seq 1.
         self._enqueued: Dict[ReplicaId, Set[int]] = {}
+        # Send-side coalescing (config.batch_window > 0): staged
+        # (chanseq, bytes) per destination, shipped as one UPDATE_BATCH
+        # frame per flush window.  Outbox entries stay individual so
+        # cursor replay after a reconnect is unchanged.
+        self._staged: Dict[ReplicaId, List[Tuple[int, bytes]]] = {}
+        self._flush_handle: Any = None
+        # While a received batch is applying, acks are deferred: one
+        # cumulative ACK per affected sender after a single WAL flush.
+        self._ack_deferred = False
+        self._ack_owed: Set[ReplicaId] = set()
         self._update_bytes: Dict[UpdateId, bytes] = {}
         self._dedup: Dict[Tuple[str, str], Dict[str, Any]] = {}
         self._writing_value: Any = None
@@ -403,6 +435,7 @@ class TcpReplicaServer:
         if not self.running:
             return
         self._accepting_ops = False
+        self._flush_staged()
         deadline = self._loop_time() + self.config.drain_timeout
         for peer, link in self.links.items():
             if link.connected:
@@ -425,6 +458,9 @@ class TcpReplicaServer:
     def _teardown(self) -> None:
         self.running = False
         self._accepting_ops = False
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
         for task in self._tasks:
             task.cancel()
         self._tasks = []
@@ -452,7 +488,18 @@ class TcpReplicaServer:
                 raise ProtocolError(f"no out-edge toward {eff.dst!r}")
             encoded = encode_update(eff.update, self._orders[self.replica_id])
             self._outbox[eff.dst][chanseq] = encoded
-            if not self._replaying:
+            if self._replaying:
+                return
+            if self.config.batch_window > 0:
+                staged = self._staged.setdefault(eff.dst, [])
+                staged.append((chanseq, encoded))
+                if len(staged) >= self.config.batch_max:
+                    self._flush_dst(eff.dst)
+                elif self._flush_handle is None:
+                    self._flush_handle = asyncio.get_event_loop().call_later(
+                        self.config.batch_window, self._flush_staged
+                    )
+            else:
                 self.links[eff.dst].send_update(chanseq, encoded)
         elif cls is RecordHistory:
             if eff.kind == "issue":
@@ -475,8 +522,15 @@ class TcpReplicaServer:
                 self.wal.append_apply(str(eff.src), raw, time.time())
             else:
                 self._update_bytes.pop(eff.update.uid, None)
+            if self._ack_deferred:
+                # Batch apply in progress: one cumulative ACK per sender
+                # goes out after the batch's single WAL flush.
+                self._ack_owed.add(eff.src)
+                return
             link = self.links.get(eff.src)
             if link is not None:
+                if self.wal.buffered:
+                    self.wal.flush()  # durable before the ack leaves
                 link.send_bytes(
                     uvarint_frame(FrameType.ACK, self.recv_cursor(eff.src))
                 )
@@ -493,6 +547,28 @@ class TcpReplicaServer:
                 self._on_apply(self, eff.src, eff.update)
         else:  # pragma: no cover - no other effects are enabled
             raise ProtocolError(f"unexpected effect {eff!r}")
+
+    # -- send-side batching ----------------------------------------------
+    def _flush_dst(self, dst: ReplicaId) -> None:
+        members = self._staged.get(dst)
+        if not members:
+            return
+        self._staged[dst] = []
+        # Issues in this window sit in the buffered WAL; they must be
+        # durable before their fan-out reaches the wire.
+        self.wal.flush()
+        link = self.links[dst]
+        if len(members) == 1:
+            link.send_update(*members[0])
+        else:
+            link.send_bytes(
+                encode_frame(FrameType.UPDATE_BATCH, batch_payload(members))
+            )
+
+    def _flush_staged(self) -> None:
+        self._flush_handle = None
+        for dst in list(self._staged):
+            self._flush_dst(dst)
 
     def _escalate(self, reason: str) -> None:
         """Anti-entropy escalation: ask every reachable peer to replay."""
@@ -576,6 +652,10 @@ class TcpReplicaServer:
                 if frame.type is FrameType.UPDATE:
                     chanseq, raw = split_update_payload(frame.payload)
                     self._on_update(link.peer, chanseq, raw)
+                elif frame.type is FrameType.UPDATE_BATCH:
+                    self._on_update_batch(
+                        link.peer, split_batch_payload(frame.payload)
+                    )
                 elif frame.type is FrameType.ACK:
                     self._note_acked(link.peer, frame.uvarint())
                 elif frame.type is FrameType.HELLO:
@@ -619,6 +699,49 @@ class TcpReplicaServer:
         # Stale frames (chanseq <= cursor) still go to the core: its
         # discard path re-confirms them so the sender trims its outbox.
         self.core.remote_update(src, update)
+
+    def _on_update_batch(
+        self, src: ReplicaId, members: List[Tuple[int, bytes]]
+    ) -> None:
+        """One coalesced frame: dedup each member, deliver in one call.
+
+        The engine's ``remote_batch`` enqueues every member before a
+        single drain; acks emitted during that drain (possibly for other
+        senders, unblocked transitively) are deferred so each affected
+        sender gets one cumulative ACK after one WAL flush.
+        """
+        cursor = self.recv_cursor(src)
+        enqueued = self._enqueued.setdefault(src, set())
+        enqueued.difference_update(
+            {seq for seq in enqueued if seq <= cursor}
+        )
+        updates: List[Update] = []
+        for chanseq, raw in members:
+            if chanseq > cursor and chanseq in enqueued:
+                self.stats.duplicates_dropped += 1
+                continue
+            update = self._decode_update(src, raw)
+            self._update_bytes[update.uid] = raw
+            if chanseq > cursor:
+                enqueued.add(chanseq)
+            updates.append(update)
+        if not updates:
+            return
+        self._ack_deferred = True
+        self._ack_owed.clear()
+        try:
+            self.core.remote_batch(src, updates)
+        finally:
+            self._ack_deferred = False
+            owed, self._ack_owed = self._ack_owed, set()
+            if owed and self.wal.buffered:
+                self.wal.flush()  # applies durable before any ack leaves
+            for peer in owed:
+                link = self.links.get(peer)
+                if link is not None:
+                    link.send_bytes(
+                        uvarint_frame(FrameType.ACK, self.recv_cursor(peer))
+                    )
 
     def _decode_update(self, src: ReplicaId, raw: bytes) -> Update:
         update = decode_update(raw, src, self._orders[src])
@@ -703,6 +826,10 @@ class TcpReplicaServer:
                 return {"ok": False, "error": "bad value encoding"}
             self._writing_value = value
             uid = self.core.local_write(register, value)
+            if self.wal.buffered:
+                # The client's ack is a durability promise: flush the
+                # buffered issue record before replying.
+                self.wal.flush()
             reply = {
                 "ok": True,
                 "uid": [str(uid.issuer), uid.seq],

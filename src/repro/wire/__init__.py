@@ -11,9 +11,11 @@ from repro.wire.codec import (
     decode_state_snapshot,
     decode_timestamp,
     decode_update,
+    decode_update_batch,
     encode_state_snapshot,
     encode_timestamp,
     encode_update,
+    encode_update_batch,
     timestamp_wire_bytes,
 )
 from repro.wire.varint import decode_uvarint, encode_uvarint
@@ -22,9 +24,11 @@ __all__ = [
     "decode_state_snapshot",
     "decode_timestamp",
     "decode_update",
+    "decode_update_batch",
     "encode_state_snapshot",
     "encode_timestamp",
     "encode_update",
+    "encode_update_batch",
     "timestamp_wire_bytes",
     "decode_uvarint",
     "encode_uvarint",

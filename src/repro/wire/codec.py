@@ -265,3 +265,53 @@ def decode_update(
         timestamp=ts,
         metadata_only=metadata_only,
     )
+
+
+# ----------------------------------------------------------------------
+# Batch frames: one wire message carrying many updates
+# ----------------------------------------------------------------------
+def encode_update_batch(
+    updates: Sequence[Update], order: Sequence[Edge] = None
+) -> bytes:
+    """Encode a coalesced frame of updates from one issuer.
+
+    Layout: count varint | (length varint | update bytes)*.  Members are
+    length-prefixed so a receiver can delimit them without re-parsing,
+    and each member is exactly the :func:`encode_update` form -- the
+    batched wire cost is the unbatched cost plus the small per-member
+    length prefix, minus the per-message framing the transport saves.
+    """
+    out = bytearray(encode_uvarint(len(updates)))
+    for update in updates:
+        encoded = encode_update(update, order)
+        out += encode_uvarint(len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+def decode_update_batch(
+    data: bytes, issuer, order: Sequence[Edge]
+) -> Tuple[Update, ...]:
+    """Decode a batch frame from a channel with a known issuer.
+
+    Defensive against corrupt input: the member count is bounds-checked
+    before looping, each member length must fit the remaining bytes, and
+    trailing bytes after the last member are rejected.
+    """
+    count, offset = decode_uvarint(data, 0)
+    _check_count(count, data, offset, "update batch")
+    updates = []
+    for _ in range(count):
+        length, offset = decode_uvarint(data, offset)
+        if length > len(data) - offset:
+            raise WireDecodeError(
+                f"batch member claims {length} bytes, "
+                f"{len(data) - offset} remain"
+            )
+        updates.append(
+            decode_update(data[offset : offset + length], issuer, order)
+        )
+        offset += length
+    if offset != len(data):
+        raise WireDecodeError("trailing bytes in update batch")
+    return tuple(updates)

@@ -1,0 +1,411 @@
+"""Batched delivery: accumulator units, engine equivalence, system runs.
+
+The batching contract is *observational equivalence*: delivering a
+coalesced frame through ``ProtocolCore.remote_batch`` must leave the
+receiver in exactly the state that delivering the members one by one
+through ``remote_update`` would -- same store, same timestamp, same
+apply order -- whether the frame takes the generic buffer-and-drain
+path or the vectorized run-apply fast path.  On top of that sit the
+adapter invariants: a flush window reduces message count without
+breaking the causal checker, rejects configurations it cannot honour
+(ARQ fault plans ack individual updates), and converges under the
+asyncio and TCP runtimes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import DSMSystem, ShareGraph, Timestamp
+from repro.clientserver import ClientServerSystem
+from repro.core.engine import (
+    Applied,
+    BatchAccumulator,
+    ProtocolCore,
+    RemoteBatch,
+    Send,
+    SendBatch,
+)
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.errors import ConfigurationError
+from repro.network.faults import FaultPlan
+from repro.optimizations.vectorized import (
+    HAVE_NUMPY,
+    VectorizedEdgeIndexedPolicy,
+)
+from repro.types import Update, UpdateId
+from repro.workloads import (
+    fig5_placements,
+    random_placements,
+    run_workload,
+    uniform_writes,
+)
+
+
+def _update(seq, value="v"):
+    return Update(UpdateId(1, seq), "x", value, Timestamp({(1, 2): seq}))
+
+
+# ----------------------------------------------------------------------
+# BatchAccumulator units
+# ----------------------------------------------------------------------
+class TestBatchAccumulator:
+    def test_max_updates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchAccumulator(max_updates=0)
+
+    def test_full_destination_returns_eager_frame(self):
+        acc = BatchAccumulator(max_updates=3)
+        assert acc.add(2, _update(1), metadata_counters=4, wire_bytes=10) is None
+        assert acc.add(2, _update(2), metadata_counters=4, wire_bytes=11) is None
+        assert acc.pending == 2
+        frame = acc.add(2, _update(3), metadata_counters=4, wire_bytes=12)
+        assert isinstance(frame, SendBatch)
+        assert frame.dst == 2
+        assert [u.uid.seq for u in frame.updates] == [1, 2, 3]
+        # Accounting is the sum over members: byte-for-byte what the
+        # unbatched path would have charged.
+        assert frame.metadata_counters == 12
+        assert frame.wire_bytes == 33
+        assert acc.pending == 0
+        assert acc.flush() == []
+
+    def test_flush_emits_one_frame_per_destination_in_order(self):
+        acc = BatchAccumulator()
+        acc.add(3, _update(1))
+        acc.add(2, _update(1))
+        acc.add(3, _update(2))
+        assert acc.pending == 3
+        frames = acc.flush()
+        assert [f.dst for f in frames] == [3, 2]  # insertion order
+        assert [len(f.updates) for f in frames] == [2, 1]
+        assert acc.pending == 0
+        assert acc.flush() == []
+
+    def test_eager_frame_leaves_other_destinations_buffered(self):
+        acc = BatchAccumulator(max_updates=2)
+        acc.add(2, _update(1))
+        acc.add(3, _update(1))
+        frame = acc.add(2, _update(2))
+        assert frame is not None and frame.dst == 2
+        assert acc.pending == 1
+        (rest,) = acc.flush()
+        assert rest.dst == 3
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence: remote_batch vs member-by-member remote_update
+# ----------------------------------------------------------------------
+class _Harness:
+    """One core with a collecting effect sink, manual clock, any policy."""
+
+    def __init__(self, replica_id, graph, policy, **kwargs):
+        self.effects = []
+        self.now = 0.0
+        self.core = ProtocolCore(
+            replica_id,
+            graph,
+            policy,
+            self.effects.append,
+            clock=lambda: self.now,
+            **kwargs,
+        )
+
+    def applied_uids(self):
+        return [e.update.uid for e in self.effects if isinstance(e, Applied)]
+
+
+class _CountingVectorized(VectorizedEdgeIndexedPolicy):
+    """Counts accepted ``merge_run`` folds (fast-path activations)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.run_hits = 0
+
+    def merge_run(self, ts, sender, sender_timestamps):
+        out = super().merge_run(ts, sender, sender_timestamps)
+        if out is not None:
+            self.run_hits += 1
+        return out
+
+
+TRIANGLE = {1: {"x", "y"}, 2: {"x", "z"}, 3: {"y", "z"}}
+
+
+def _issue_run(graph, count):
+    writer = _Harness(1, graph, EdgeIndexedPolicy(graph, 1))
+    for n in range(count):
+        writer.core.local_write("x", n)
+    return [e.update for e in writer.effects if isinstance(e, Send)]
+
+
+def _receiver_pair(graph, policy_cls):
+    return (
+        _Harness(2, graph, policy_cls(graph, 2), emit_applied=True),
+        _Harness(2, graph, policy_cls(graph, 2), emit_applied=True),
+    )
+
+
+def _assert_same_outcome(a, b):
+    assert a.core.timestamp == b.core.timestamp
+    assert a.core.store == b.core.store
+    assert a.core.pending_count == b.core.pending_count
+    assert a.core.metrics.applied_remote == b.core.metrics.applied_remote
+    assert a.applied_uids() == b.applied_uids()
+
+
+@pytest.mark.parametrize(
+    "policy_cls",
+    [
+        EdgeIndexedPolicy,
+        pytest.param(
+            VectorizedEdgeIndexedPolicy,
+            marks=pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing"),
+        ),
+    ],
+    ids=["scalar", "vectorized"],
+)
+class TestRemoteBatchEquivalence:
+    def test_ready_frame_matches_sequential_delivery(self, policy_cls):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 6)
+        seq, bat = _receiver_pair(graph, policy_cls)
+        for u in updates:
+            seq.core.remote_update(1, u)
+        bat.core.remote_batch(1, updates)
+        _assert_same_outcome(seq, bat)
+        assert bat.core.read("x") == 5
+        assert bat.core.pending_count == 0
+
+    def test_gapped_frame_buffers_then_drains_identically(self, policy_cls):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 5)
+        seq, bat = _receiver_pair(graph, policy_cls)
+        # Head missing: every member must buffer, nothing applies ...
+        for u in updates[1:]:
+            seq.core.remote_update(1, u)
+        bat.core.remote_batch(1, updates[1:])
+        _assert_same_outcome(seq, bat)
+        assert bat.core.pending_count == 4
+        assert bat.applied_uids() == []
+        # ... until the gap closes and both drain the full run in order.
+        seq.core.remote_update(1, updates[0])
+        bat.core.remote_update(1, updates[0])
+        _assert_same_outcome(seq, bat)
+        assert bat.core.pending_count == 0
+        assert [u.uid.seq for u in updates] == [
+            uid.seq for uid in bat.applied_uids()
+        ]
+
+    def test_handle_remote_batch_event_dispatches(self, policy_cls):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 3)
+        seq, bat = _receiver_pair(graph, policy_cls)
+        for u in updates:
+            seq.core.remote_update(1, u)
+        bat.core.handle(RemoteBatch(1, tuple(updates)))
+        _assert_same_outcome(seq, bat)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing")
+class TestRunApplyFastPath:
+    def test_ready_frame_takes_one_fold(self):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 8)
+        policy = _CountingVectorized(graph, 2)
+        receiver = _Harness(2, graph, policy, emit_applied=True)
+        receiver.core.remote_batch(1, updates)
+        assert policy.run_hits == 1  # whole frame, one merge
+        assert receiver.core.read("x") == 7
+        assert receiver.core.pending_count == 0
+        assert receiver.core.metrics.applied_remote == 8
+
+    def test_gapped_frame_rejects_fold_and_buffers(self):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 4)
+        policy = _CountingVectorized(graph, 2)
+        receiver = _Harness(2, graph, policy, emit_applied=True)
+        receiver.core.remote_batch(1, updates[1:])
+        assert policy.run_hits == 0
+        assert receiver.core.pending_count == 3
+
+    def test_fast_path_mirrors_pending_high_water(self):
+        graph = ShareGraph(TRIANGLE)
+        updates = _issue_run(graph, 5)
+        policy = _CountingVectorized(graph, 2)
+        receiver = _Harness(2, graph, policy)
+        receiver.core.remote_batch(1, updates)
+        # The generic path would have buffered all 5 before draining;
+        # the fold must report the same high-water mark.
+        assert receiver.core.metrics.pending_high_water == 5
+
+
+# ----------------------------------------------------------------------
+# Simulated systems: flush windows, differentials, config guards
+# ----------------------------------------------------------------------
+class TestSimulatedSystems:
+    def _run(self, **kwargs):
+        system = DSMSystem(fig5_placements(), seed=4, **kwargs)
+        stream = uniform_writes(system.graph, 80, seed=9)
+        run_workload(system, stream)
+        return system
+
+    def test_window_converges_with_fewer_messages(self):
+        plain = self._run()
+        batched = self._run(batch_window=1.0)
+        assert plain.check().ok
+        assert batched.check().ok
+        mp, mb = plain.metrics(), batched.metrics()
+        assert mb.applied_remote == mp.applied_remote
+        assert mb.messages_sent < mp.messages_sent
+        for rid in plain.graph.replicas:
+            for reg in sorted(plain.graph.registers_at(rid), key=str):
+                assert plain.client(rid).read(reg) == batched.client(rid).read(
+                    reg
+                )
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing")
+    def test_vectorized_batched_run_is_byte_identical_to_scalar(self):
+        def run(vectorized):
+            placements = random_placements(8, 24, 4, seed=21)
+            system = DSMSystem(
+                placements, seed=7, vectorized=vectorized, batch_window=2.0
+            )
+            stream = uniform_writes(system.graph, 150, seed=3)
+            run_workload(system, stream)
+            assert system.check().ok
+            stores = {
+                rid: dict(system.replica(rid).store)
+                for rid in system.graph.replicas
+            }
+            stamps = {
+                rid: system.replica(rid).timestamp
+                for rid in system.graph.replicas
+            }
+            events = [
+                (e.kind, e.replica, e.uid, round(e.time, 9))
+                for e in system.history.events
+            ]
+            return stores, stamps, events
+
+        assert run(False) == run(True)
+
+    def test_batch_window_requires_reliable_channels(self):
+        with pytest.raises(ConfigurationError):
+            DSMSystem(fig5_placements(), batch_window=1.0, fault_plan=FaultPlan())
+        with pytest.raises(ConfigurationError):
+            ClientServerSystem(
+                {1: {"x"}, 2: {"y"}, 3: {"x", "z"}, 4: {"y", "z"}},
+                {"cA": {1, 2}, "cB": {3, 4}},
+                batch_window=1.0,
+                fault_plan=FaultPlan(),
+            )
+
+    def test_clientserver_batched_run_checks(self):
+        system = ClientServerSystem(
+            {1: {"x"}, 2: {"y"}, 3: {"x", "z"}, 4: {"y", "z"}},
+            {"cA": {1, 2}, "cB": {3, 4}},
+            seed=6,
+            batch_window=0.5,
+        )
+        system.client("cA").enqueue_write("x", 1)
+        system.client("cA").enqueue_write("y", 2)
+        system.client("cB").enqueue_write("z", 3)
+        system.client("cB").enqueue_write("x", 4)
+        system.client("cB").enqueue_read("x")
+        system.run()
+        assert system.all_clients_done()
+        result = system.check()
+        assert result.ok, str(result)
+
+
+# ----------------------------------------------------------------------
+# Asyncio runtime with a live flush window
+# ----------------------------------------------------------------------
+def test_aio_batched_write_propagates():
+    from repro.aio import AioDSMSystem
+
+    async def scenario():
+        system = AioDSMSystem(
+            fig5_placements(),
+            seed=11,
+            batch_window=0.005,
+            vectorized=HAVE_NUMPY,
+        )
+        async with system:
+            for n in range(10):
+                await system.replica(2).write("y", f"v{n}")
+            await system.settle()
+            assert system.replica(1).read("y") == "v9"
+            assert system.replica(4).read("y") == "v9"
+        result = system.check()
+        assert result.ok, str(result)
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# TCP runtime: Nagle-style windows and the pipelined client
+# ----------------------------------------------------------------------
+class TestTcpBatched:
+    PLACEMENTS = {"a": {"x", "y"}, "b": {"x", "z"}, "c": {"y", "z"}}
+
+    def test_batched_cluster_converges(self, tmp_path):
+        from repro.tcp import TcpCluster, TcpConfig
+
+        config = TcpConfig(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.25,
+            batch_window=0.01,
+            vectorized=HAVE_NUMPY,
+        )
+
+        async def scenario():
+            async with TcpCluster(
+                self.PLACEMENTS, str(tmp_path), config=config
+            ) as cluster:
+                for n in range(8):
+                    await cluster.replica("a").write("x", f"x{n}")
+                await cluster.replica("b").write("z", "vz")
+                await cluster.settle(timeout=15)
+                stores = cluster.stores()
+                assert stores["a"]["x"] == "x7"
+                assert stores["b"] == {"x": "x7", "z": "vz"}
+                assert stores["c"]["z"] == "vz"
+
+        asyncio.run(scenario())
+
+    def test_pipelined_client_window(self, tmp_path):
+        from repro.tcp import TcpCluster, TcpConfig
+        from repro.tcp.client import ClusterClient
+
+        config = TcpConfig(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.25,
+            batch_window=0.005,
+        )
+
+        async def scenario():
+            async with TcpCluster(
+                self.PLACEMENTS, str(tmp_path), config=config
+            ) as cluster:
+                client = ClusterClient(
+                    "pipe", cluster.addresses, op_timeout=5.0
+                )
+                with pytest.raises(ValueError):
+                    await client.write_pipelined([("x", 1)], ["a"], window=0)
+                ops = [("x", f"p{n}") for n in range(12)]
+                results = await client.write_pipelined(ops, ["a"], window=4)
+                assert len(results) == 12
+                uids = [r.uid for r in results]
+                assert all(uids)
+                assert len(set(uids)) == 12  # no op double-executed
+                await client.close()
+                await cluster.settle(timeout=15)
+                stores = cluster.stores()
+                assert stores["a"]["x"] == "p11"
+                assert stores["b"]["x"] == "p11"
+
+        asyncio.run(scenario())

@@ -24,6 +24,7 @@ import pytest
 from repro.baselines.legacy import legacy_policy_factory
 from repro.core.system import DSMSystem
 from repro.network.faults import ChannelFaults, FaultPlan
+from repro.optimizations.vectorized import HAVE_NUMPY
 from repro.workloads import (
     clique_placements,
     random_placements,
@@ -46,10 +47,13 @@ def run_trace(
     rate: float,
     policy_factory=None,
     faults: Optional[ChannelFaults] = None,
+    vectorized: bool = False,
 ) -> Trace:
     kwargs = {}
     if policy_factory is not None:
         kwargs["policy_factory"] = policy_factory
+    if vectorized:
+        kwargs["vectorized"] = True
     if faults is not None:
         kwargs["fault_plan"] = FaultPlan(
             seed=99, default=faults, horizon=10_000.0
@@ -104,6 +108,32 @@ def test_identical_traces_chaos(name, placements, writes, rate) -> None:
     assert old[2] == new[2], f"{name}: checker verdicts diverged under faults"
 
 
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing")
+@pytest.mark.parametrize(
+    "name,placements,writes,rate", CASES, ids=[c[0] for c in CASES]
+)
+def test_identical_traces_vectorized(name, placements, writes, rate) -> None:
+    """The numpy kernels (including the run-apply fast path) against the
+    flat-list oracle: vectorization must be invisible in the trace."""
+    old = run_trace(placements, writes, rate, legacy_policy_factory)
+    new = run_trace(placements, writes, rate, vectorized=True)
+    assert old[0] == new[0], f"{name}: history events diverged (vectorized)"
+    assert old[1] == new[1], f"{name}: timestamps diverged (vectorized)"
+    assert old[2] and new[2], f"{name}: checker verdicts diverged (vectorized)"
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing")
+def test_identical_traces_vectorized_chaos() -> None:
+    """One dense case under loss/duplication: retransmitted duplicates
+    must never let the run fold double-apply a member."""
+    name, placements, writes, rate = CASES[-1]
+    old = run_trace(placements, writes, rate, legacy_policy_factory, FAULTS)
+    new = run_trace(placements, writes, rate, faults=FAULTS, vectorized=True)
+    assert old[0] == new[0], f"{name}: history events diverged under faults"
+    assert old[1] == new[1], f"{name}: timestamps diverged under faults"
+    assert old[2] == new[2], f"{name}: checker verdicts diverged under faults"
+
+
 def test_legacy_policy_uses_conservative_path() -> None:
     """The baseline must actually exercise the pre-optimization engine
     path, or the differential test proves nothing."""
@@ -124,3 +154,14 @@ def test_optimized_policy_uses_fast_path() -> None:
     assert replica._merge_delta is not None
     assert replica._readiness_deps is not None
     assert replica._fifo
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy missing")
+def test_vectorized_policy_exposes_run_hooks() -> None:
+    """The engine must actually see the run-apply hooks, or the
+    vectorized differential never exercises the fast path."""
+    system = DSMSystem(tree_placements(4), seed=7, vectorized=True)
+    replica = next(iter(system.replicas.values()))
+    assert replica._merge_run is not None
+    assert replica._blocked_many is not None
+    assert replica._ready_many is not None

@@ -1,0 +1,243 @@
+"""Kernel parity: VectorizedEdgeIndexedPolicy vs the scalar base class.
+
+The vectorized policy's contract is *byte-identity*: every kernel must
+return exactly what the scalar ``EdgeIndexedPolicy`` returns -- the same
+timestamp values, the same changed-key frozensets, the same memoized
+wire sizes -- only faster.  These tests drive both policies through
+identical randomized advance/merge walks and compare every output, then
+check the run kernels (``merge_run``, ``blocked_many``) against a
+scalar step-by-step simulation of the delivery engine's generic path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import EdgeIndexedPolicy
+from repro.core.timestamp_graph import all_timestamp_graphs
+from repro.optimizations import vectorized as vec
+from repro.optimizations.vectorized import (
+    HAVE_NUMPY,
+    VectorizedEdgeIndexedPolicy,
+)
+from repro.wire.codec import timestamp_wire_bytes
+from repro.workloads import random_placements
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy missing: vectorized kernels inactive"
+)
+
+
+def _policy_pairs(seed=11, replicas=8, writes=20, per=4):
+    """(scalar, vectorized) policy pairs over one dense share graph."""
+    graph = ShareGraph(random_placements(replicas, writes, per, seed=seed))
+    graphs = all_timestamp_graphs(graph)
+    pairs = {}
+    for rid in graph.replicas:
+        edges = graphs[rid].edges
+        pairs[rid] = (
+            EdgeIndexedPolicy(graph, rid, edges=edges),
+            VectorizedEdgeIndexedPolicy(graph, rid, edges=edges),
+        )
+    return graph, pairs
+
+
+def _registers_at(graph, rid):
+    return sorted(graph.registers_at(rid), key=str)
+
+
+def test_advance_and_merge_delta_parity_random_walk():
+    graph, pairs = _policy_pairs()
+    rng = random.Random(42)
+    rids = sorted(graph.replicas, key=str)
+    state = {rid: (s.initial(), v.initial()) for rid, (s, v) in pairs.items()}
+    for step in range(400):
+        rid = rng.choice(rids)
+        scalar, vect = pairs[rid]
+        ts_s, ts_v = state[rid]
+        assert ts_s == ts_v
+        if rng.random() < 0.5:
+            regs = _registers_at(graph, rid)
+            if not regs:
+                continue
+            reg = rng.choice(regs)
+            # Exercise the wire-size memo delta on roughly half the steps.
+            if rng.random() < 0.5:
+                timestamp_wire_bytes(ts_s)
+                timestamp_wire_bytes(ts_v)
+            new_s, chg_s = scalar.advance_delta(ts_s, reg)
+            new_v, chg_v = vect.advance_delta(ts_v, reg)
+        else:
+            src = rng.choice([r for r in rids if r != rid])
+            src_ts = state[src][0]
+            if rng.random() < 0.5:
+                timestamp_wire_bytes(ts_s)
+                timestamp_wire_bytes(ts_v)
+            new_s, chg_s = scalar.merge_delta(ts_s, src, src_ts)
+            new_v, chg_v = vect.merge_delta(ts_v, src, src_ts)
+        assert new_s == new_v, f"step {step}: values diverged"
+        assert chg_s == chg_v, f"step {step}: changed keys diverged"
+        assert new_s._wire_size == new_v._wire_size, f"step {step}: memo"
+        # No-change merges must return the identical object (engine
+        # relies on `is` to skip wake-ups).
+        state[rid] = (new_s, new_v)
+
+
+def test_ready_and_ready_many_parity():
+    graph, pairs = _policy_pairs(seed=5)
+    rng = random.Random(7)
+    rids = sorted(graph.replicas, key=str)
+    # Build a run of sender timestamps by advancing the sender's policy.
+    for trial in range(30):
+        rid, src = rng.sample(rids, 2)
+        scalar, vect = pairs[rid]
+        s_scalar, _ = pairs[src]
+        own = scalar.initial()
+        sender_ts = s_scalar.initial()
+        queue = []
+        regs = _registers_at(graph, src)
+        if not regs:
+            continue
+        for _ in range(rng.randrange(1, 6)):
+            sender_ts = s_scalar.advance(sender_ts, rng.choice(regs))
+            queue.append(sender_ts)
+        # Randomly advance the receiver so some entries become ready.
+        for _ in range(rng.randrange(0, 4)):
+            own = scalar.merge(own, src, queue[0])
+        expect = None
+        for i, ts in enumerate(queue):
+            if scalar.ready(own, src, ts):
+                expect = i
+                break
+        got = vect.ready_many(own, src, queue)
+        assert got == expect, f"trial {trial}: ready_many diverged"
+        for ts in queue:
+            assert scalar.ready(own, src, ts) == vect.ready(own, src, ts)
+
+
+def _scalar_run(scalar, own, src, run):
+    """The generic path's outcome for a frame: (final, changed) or None."""
+    changed = frozenset()
+    cur = own
+    for ts in run:
+        if not scalar.ready(cur, src, ts):
+            return None
+        cur, delta = scalar.merge_delta(cur, src, ts)
+        if delta:
+            changed = changed | delta
+    return cur, changed
+
+
+def test_merge_run_matches_scalar_step_simulation():
+    graph, pairs = _policy_pairs(seed=9)
+    rng = random.Random(23)
+    rids = sorted(graph.replicas, key=str)
+    hits = 0
+    for trial in range(120):
+        rid, src = rng.sample(rids, 2)
+        scalar, vect = pairs[rid]
+        s_scalar, _ = pairs[src]
+        regs = _registers_at(graph, src)
+        if not regs:
+            continue
+        sender_ts = s_scalar.initial()
+        run = []
+        for _ in range(rng.randrange(1, 7)):
+            sender_ts = s_scalar.advance(sender_ts, rng.choice(regs))
+            run.append(sender_ts)
+        own = scalar.initial()
+        if rng.random() < 0.3:
+            # Drop the head: the run is now gapped and must be rejected.
+            run = run[1:]
+        if not run:
+            continue
+        if rng.random() < 0.5:
+            timestamp_wire_bytes(own)
+        expect = _scalar_run(scalar, own, src, run)
+        got = vect.merge_run(own, src, run)
+        if expect is None:
+            assert got is None, f"trial {trial}: accepted an unready run"
+        else:
+            assert got is not None, f"trial {trial}: rejected a ready run"
+            assert got[0] == expect[0], f"trial {trial}: folded values"
+            assert got[1] == expect[1], f"trial {trial}: raised keys"
+            assert got[0]._wire_size == expect[0]._wire_size
+            hits += 1
+    assert hits > 10, "matrix never exercised the accepting path"
+
+
+def test_blocked_many_is_sound():
+    """blocked_many must never claim 'blocked' for a member that the
+    scalar predicate judges ready at the final frontier (readiness at
+    any intermediate frontier implies readiness conditions under the
+    final one, by monotonicity)."""
+    graph, pairs = _policy_pairs(seed=3)
+    rng = random.Random(99)
+    rids = sorted(graph.replicas, key=str)
+    checked = 0
+    for trial in range(100):
+        rid, src = rng.sample(rids, 2)
+        scalar, vect = pairs[rid]
+        s_scalar, _ = pairs[src]
+        regs = _registers_at(graph, src)
+        if not regs:
+            continue
+        sender_ts = s_scalar.initial()
+        queue = []
+        for _ in range(rng.randrange(2, 7)):
+            sender_ts = s_scalar.advance(sender_ts, rng.choice(regs))
+            queue.append(sender_ts)
+        final = scalar.initial()
+        for _ in range(rng.randrange(0, 3)):
+            final = scalar.merge(final, src, queue[0])
+        # Drop a prefix so some queues are gapped beyond the frontier --
+        # the provably-blocked shape the engine sees in practice.
+        queue = queue[rng.randrange(0, len(queue)) :]
+        if vect.blocked_many(final, src, queue):
+            for ts in queue:
+                assert not scalar.ready(final, src, ts)
+            checked += 1
+    assert checked > 0
+
+
+def test_heterogeneous_sender_indexes_fall_back():
+    graph, pairs = _policy_pairs(seed=13)
+    rids = sorted(graph.replicas, key=str)
+    rid, src = rids[0], rids[1]
+    _, vect = pairs[rid]
+    a = pairs[src][0].initial()
+    b = pairs[rids[2]][0].initial()
+    own = vect.initial()
+    # Mixed edge indexes in one queue: scalar fallback, never a crash.
+    assert vect.ready_many(own, src, [a, b]) == vect._ready_many_scalar(
+        own, src, [a, b]
+    )
+    assert vect.merge_run(own, src, [a, b]) is None
+    assert vect.blocked_many(own, src, [a, b]) is False
+
+
+def test_scalar_fallback_without_numpy(monkeypatch):
+    graph, pairs = _policy_pairs(seed=17)
+    rids = sorted(graph.replicas, key=str)
+    rid, src = rids[0], rids[1]
+    scalar, vect = pairs[rid]
+    s_scalar, _ = pairs[src]
+    regs = _registers_at(graph, src)
+    sender_ts = s_scalar.advance(s_scalar.initial(), regs[0])
+    own_s = scalar.initial()
+    own_v = vect.initial()
+    monkeypatch.setattr(vec, "_np", None)
+    new_s, chg_s = scalar.merge_delta(own_s, src, sender_ts)
+    new_v, chg_v = vect.merge_delta(own_v, src, sender_ts)
+    assert new_s == new_v and chg_s == chg_v
+    assert vect.merge_run(own_v, src, [sender_ts]) is None
+    assert vect.blocked_many(own_v, src, [sender_ts]) is False
+    vect.prewarm({src: s_scalar})  # must be a no-op, not a crash
+    own_regs = _registers_at(graph, rid)
+    if own_regs:
+        a_s = scalar.advance_delta(own_s, own_regs[0])
+        a_v = vect.advance_delta(own_v, own_regs[0])
+        assert a_s[0] == a_v[0] and a_s[1] == a_v[1]
