@@ -9,6 +9,7 @@ Commands
 ``chaos``        sweep a fault-injection campaign (loss/dup/crash) over seeds
 ``bench``        protocol throughput benchmarks (BENCH_protocol.json)
 ``cluster``      real-socket TCP cluster: serve / launch / load / chaos
+``soak``         sustained-load soak with a scheduled fault timeline
 """
 
 from __future__ import annotations
@@ -324,6 +325,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 sessions=args.sessions,
                 writes_per_session=args.writes,
                 seed=args.seed,
+                pipeline_window=args.pipeline,
+                tcp_config=doc.get("config"),
             )
         )
         print(
@@ -335,8 +338,17 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             f"p95={report.p95 * 1e3:.1f}ms p99={report.p99 * 1e3:.1f}ms"
         )
         print(
-            f"  retries={report.retries} failovers={report.failovers}"
+            f"  retries={report.retries} failovers={report.failovers} "
+            f"sheds={report.sheds} errors={report.errors}"
         )
+        print(
+            f"  rates: retry={report.retry_rate:.4f}/op "
+            f"error={report.error_rate:.4f}/op"
+        )
+        effective = " ".join(
+            f"{key}={value}" for key, value in sorted(report.config.items())
+        )
+        print(f"  config: {effective}")
         if args.report:
             with open(args.report, "w", encoding="utf-8") as fh:
                 json.dump(report.to_json(), fh, indent=2, sort_keys=True)
@@ -387,6 +399,38 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     print(f"unknown cluster command {args.cluster_command!r}", file=sys.stderr)
     return 2
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.harness.soak import SoakSpec, run_soak
+
+    spec = SoakSpec(
+        scenario=args.scenario,
+        replicas=args.replicas,
+        sessions=args.sessions,
+        duration=args.duration,
+        sample_interval=args.sample_interval,
+        pipeline_window=args.pipeline,
+        seed=args.seed,
+        settle_timeout=args.settle_timeout,
+        think_time=args.think,
+    )
+    report = asyncio.run(run_soak(spec, args.workdir, report_path=args.report))
+    print(report.render())
+    if args.report:
+        print(f"wrote time series to {args.report}")
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote summary to {args.summary}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 async def _wait_forever(cluster) -> None:
@@ -583,6 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--sessions", type=int, default=4)
     p_load.add_argument("--writes", type=int, default=50, help="per session")
     p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        help="client pipeline window (1 = write-await-write)",
+    )
     p_load.add_argument("--report", default=None, help="write JSON here")
     p_load.set_defaults(func=cmd_cluster)
 
@@ -601,6 +651,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pchaos.add_argument("--report", default=None, help="write JSON here")
     p_pchaos.set_defaults(func=cmd_cluster)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="sustained-load soak: scheduled faults, JSONL series, audit",
+    )
+    p_soak.add_argument(
+        "--scenario",
+        choices=("steady", "crash-storm", "corrupt-wal", "overload"),
+        default="steady",
+    )
+    p_soak.add_argument("--workdir", required=True)
+    p_soak.add_argument("--duration", type=float, default=60.0)
+    p_soak.add_argument("--replicas", type=int, default=3)
+    p_soak.add_argument("--sessions", type=int, default=4)
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        dest="sample_interval",
+    )
+    p_soak.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        help="client pipeline window (1 = write-await-write)",
+    )
+    p_soak.add_argument(
+        "--settle-timeout",
+        type=float,
+        default=60.0,
+        dest="settle_timeout",
+    )
+    p_soak.add_argument(
+        "--think",
+        type=float,
+        default=0.0,
+        help="per-session sleep between ops, seconds (0 = full speed; "
+        "use ~0.04 on long soaks to keep the final audit tractable)",
+    )
+    p_soak.add_argument(
+        "--report", default=None, help="write the JSONL time series here"
+    )
+    p_soak.add_argument(
+        "--summary", default=None, help="write the JSON summary here"
+    )
+    p_soak.set_defaults(func=cmd_soak)
 
     p_mc = sub.add_parser(
         "modelcheck", help="exhaustively explore all interleavings"

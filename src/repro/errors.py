@@ -71,8 +71,28 @@ class RetryExhaustedError(TransportError):
         self.attempts = attempts
 
 
+class ReplicaOverloadedError(RetryExhaustedError):
+    """Every attempt of a client op was shed by overloaded replicas.
+
+    Raised by :class:`repro.tcp.client.ClusterClient` when the retry
+    budget runs out and the *last* rejection was an overload shed -- a
+    retryable condition, distinct from replicas being unreachable, so
+    load drivers can count back-pressure separately from failures.
+    """
+
+
 class ProtocolError(ReproError):
     """A replica or client observed a protocol invariant violation."""
+
+
+class WalCorruptionError(ProtocolError):
+    """A write-ahead log record failed its checksum or failed to parse.
+
+    Raised by the strict audit-time reader (:func:`repro.tcp.wal.read_wal`)
+    for corruption anywhere but the torn final line.  The boot-time path
+    (:func:`repro.tcp.wal.recover_wal`) never raises this: it quarantines
+    the damaged file and degrades to a deep resync instead.
+    """
 
 
 class WireDecodeError(ProtocolError):

@@ -23,7 +23,14 @@ from repro.harness.chaos import (
     run_chaos_trial,
     store_divergence,
 )
-from repro.harness.report import Table
+from repro.harness.report import JsonlWriter, Table
+from repro.harness.soak import (
+    FaultAction,
+    SoakReport,
+    SoakSpec,
+    run_soak,
+    timeline_for,
+)
 from repro.harness.sweeps import (
     metadata_comparison,
     protocol_run,
@@ -36,7 +43,11 @@ __all__ = [
     "CampaignReport",
     "ChaosSpec",
     "CrashEvent",
+    "FaultAction",
+    "JsonlWriter",
     "Scenario",
+    "SoakReport",
+    "SoakSpec",
     "Table",
     "TrialResult",
     "check_regression",
@@ -47,6 +58,8 @@ __all__ = [
     "run_chaos_campaign",
     "run_chaos_trial",
     "run_scenario",
+    "run_soak",
     "run_summary",
     "store_divergence",
+    "timeline_for",
 ]

@@ -31,12 +31,12 @@ import json
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.causality import History
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp_graph import all_timestamp_graphs
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RetryExhaustedError
 from repro.harness.chaos import store_divergence
 from repro.tcp.client import ClusterClient, percentile
 from repro.tcp.cluster import ProcessCluster
@@ -214,7 +214,17 @@ async def _load_session(
     writes: int,
     seed: int,
     results: List[float],
+    errors: Optional[List[str]] = None,
+    pipeline_window: int = 1,
 ) -> ClusterClient:
+    """One write session; ``pipeline_window > 1`` keeps that many ops in
+    flight per register burst via :meth:`ClusterClient.write_pipelined`.
+
+    A session that exhausts its retry budget on one op records the error
+    (when ``errors`` is given) and moves on instead of aborting the whole
+    burst -- a single unlucky op must dent the error-rate section of the
+    report, not vaporize every other session's measurements.
+    """
     rng = random.Random(f"{seed}:{name}")
     registers = sorted(graph.registers, key=str)
     client = ClusterClient(
@@ -224,14 +234,33 @@ async def _load_session(
         max_attempts=40,
         retry_delay=0.05,
     )
-    for i in range(writes):
+    i = 0
+    while i < writes:
         register = rng.choice(registers)
         targets = sorted(
             (str(r) for r in graph.replicas_storing(register)),
             key=lambda r: rng.random(),
         )
-        result = await client.write(register, f"{name}:{i}", targets)
-        results.append(result.latency)
+        chunk = 1
+        if pipeline_window > 1:
+            chunk = min(writes - i, pipeline_window * 2)
+        try:
+            if chunk == 1:
+                result = await client.write(register, f"{name}:{i}", targets)
+                results.append(result.latency)
+            else:
+                ops = [
+                    (register, f"{name}:{i + j}") for j in range(chunk)
+                ]
+                for result in await client.write_pipelined(
+                    ops, targets, window=pipeline_window
+                ):
+                    results.append(result.latency)
+        except RetryExhaustedError as exc:
+            if errors is None:
+                raise
+            errors.append(f"{name}: {exc}")
+        i += chunk
     await client.close()
     return client
 
@@ -248,9 +277,18 @@ class LoadReport:
     p99: float
     retries: int
     failovers: int
+    #: Error/retry-rate section (comparable with the soak's samples):
+    #: ops that exhausted their retry budget, attempts shed by overloaded
+    #: replicas, and per-op rates.
+    errors: int = 0
+    sheds: int = 0
+    retry_rate: float = 0.0
+    error_rate: float = 0.0
+    #: Effective batching/pipelining configuration the burst ran with.
+    config: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
-        return dict(self.__dict__)
+        return dict(self.__dict__, config=dict(self.config))
 
 
 async def run_load(
@@ -259,33 +297,62 @@ async def run_load(
     sessions: int = 4,
     writes_per_session: int = 50,
     seed: int = 0,
+    pipeline_window: int = 1,
+    tcp_config: Optional[Mapping[str, Any]] = None,
 ) -> LoadReport:
     """Drive concurrent write sessions against a running cluster.
 
     Reuses the retry/failover/dedup client sessions, so the burst keeps
     making progress through restarts and resets happening underneath.
+    ``tcp_config`` (the cluster's effective ``TcpConfig`` as a mapping,
+    e.g. the ``config`` section of ``cluster.json``) is echoed into the
+    report so batching/pipelining settings travel with the numbers.
     """
     graph = ShareGraph({r: set(x) for r, x in placements.items()})
     latencies: List[float] = []
+    errors: List[str] = []
     started = time.monotonic()
     clients = await asyncio.gather(
         *(
             _load_session(
-                f"s{i}", addresses, graph, writes_per_session, seed, latencies
+                f"s{i}",
+                addresses,
+                graph,
+                writes_per_session,
+                seed,
+                latencies,
+                errors=errors,
+                pipeline_window=pipeline_window,
             )
             for i in range(sessions)
         )
     )
     duration = time.monotonic() - started
+    ops = len(latencies)
+    retries = sum(c.stats.retries for c in clients)
+    tcp_cfg = dict(tcp_config or {})
     return LoadReport(
-        ops=len(latencies),
+        ops=ops,
         duration=duration,
-        throughput=len(latencies) / duration if duration > 0 else 0.0,
+        throughput=ops / duration if duration > 0 else 0.0,
         p50=percentile(latencies, 0.50),
         p95=percentile(latencies, 0.95),
         p99=percentile(latencies, 0.99),
-        retries=sum(c.stats.retries for c in clients),
+        retries=retries,
         failovers=sum(c.stats.failovers for c in clients),
+        errors=len(errors),
+        sheds=sum(c.stats.sheds for c in clients),
+        retry_rate=retries / ops if ops else 0.0,
+        error_rate=len(errors) / (ops + len(errors)) if (ops or errors) else 0.0,
+        config={
+            "sessions": sessions,
+            "writes_per_session": writes_per_session,
+            "pipeline_window": pipeline_window,
+            "batch_window": tcp_cfg.get("batch_window", 0.0),
+            "batch_max": tcp_cfg.get("batch_max"),
+            "vectorized": tcp_cfg.get("vectorized", False),
+            "shed_threshold": tcp_cfg.get("shed_threshold"),
+        },
     )
 
 

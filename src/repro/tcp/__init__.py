@@ -29,7 +29,14 @@ from repro.tcp.framing import (
 )
 from repro.tcp.runtime import LinkEvent, TcpCluster, TcpConfig, TcpReplicaServer
 from repro.tcp.client import ClusterClient, OpResult
-from repro.tcp.wal import WalEntry, WriteAheadLog
+from repro.tcp.wal import (
+    WalEntry,
+    WalRecovery,
+    WriteAheadLog,
+    quarantine_wal,
+    read_wal,
+    recover_wal,
+)
 
 __all__ = [
     "Frame",
@@ -45,5 +52,9 @@ __all__ = [
     "ClusterClient",
     "OpResult",
     "WalEntry",
+    "WalRecovery",
     "WriteAheadLog",
+    "quarantine_wal",
+    "read_wal",
+    "recover_wal",
 ]

@@ -23,7 +23,11 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import RetryExhaustedError, WireDecodeError
+from repro.errors import (
+    ReplicaOverloadedError,
+    RetryExhaustedError,
+    WireDecodeError,
+)
 from repro.tcp.framing import FrameType, json_frame, read_frame
 from repro.wire.codec import decode_value, encode_value
 
@@ -46,6 +50,9 @@ class SessionStats:
     ops: int = 0
     retries: int = 0
     failovers: int = 0
+    #: Attempts rejected with a typed retryable shed reply (the replica
+    #: was overloaded or recovering, not dead).
+    sheds: int = 0
     latencies: List[float] = field(default_factory=list)
 
 
@@ -113,9 +120,18 @@ class ClusterClient:
 
     # -- operations ------------------------------------------------------
     async def write(
-        self, register: str, value: Any, targets: Sequence[str]
+        self,
+        register: str,
+        value: Any,
+        targets: Sequence[str],
+        priority: int = 0,
     ) -> OpResult:
-        """Write ``register`` at the first responsive target replica."""
+        """Write ``register`` at the first responsive target replica.
+
+        ``priority > 0`` exempts the write from server-side overload
+        shedding (probes and admin traffic must land even when a replica
+        is drowning in bulk load).
+        """
         self._request_seq += 1
         doc = {
             "op": "write",
@@ -124,6 +140,8 @@ class ClusterClient:
             "register": register,
             "value": encode_value(value).hex(),
         }
+        if priority:
+            doc["priority"] = priority
         reply, replica, attempts, latency = await self._with_retries(
             doc, targets
         )
@@ -291,6 +309,7 @@ class ClusterClient:
         loop = asyncio.get_event_loop()
         started = loop.time()
         last_error = "no targets"
+        last_shed = False
         for attempt in range(self.max_attempts):
             target = targets[attempt % len(targets)]
             if attempt > 0:
@@ -311,16 +330,31 @@ class ClusterClient:
                 WireDecodeError,
             ) as exc:
                 last_error = f"{target}: {type(exc).__name__}"
+                last_shed = False
                 await self.close()
                 continue
             if reply.get("ok"):
                 return reply, target, attempt + 1, loop.time() - started
             last_error = f"{target}: {reply.get('error')}"
-        raise RetryExhaustedError(
+            last_shed = bool(reply.get("shed"))
+            if last_shed:
+                # Typed retryable rejection: the replica is alive but
+                # shedding (overloaded or recovering).  Honor its retry
+                # hint before the next attempt fails over elsewhere.
+                self.stats.sheds += 1
+                try:
+                    hint = float(reply.get("retry_after", 0.0))
+                except (TypeError, ValueError):
+                    hint = 0.0
+                if hint > 0:
+                    await asyncio.sleep(hint)
+        message = (
             f"session {self.session!r} {doc.get('op')} on "
-            f"{doc.get('register')!r} ({last_error})",
-            self.max_attempts,
+            f"{doc.get('register')!r} ({last_error})"
         )
+        if last_shed:
+            raise ReplicaOverloadedError(message, self.max_attempts)
+        raise RetryExhaustedError(message, self.max_attempts)
 
     def _done(self, result: OpResult) -> OpResult:
         self.stats.ops += 1

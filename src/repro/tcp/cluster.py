@@ -194,6 +194,20 @@ class ProcessCluster:
         self.restarts[replica] = self.restarts.get(replica, 0) + 1
         self.spawn(replica)
 
+    def sigstop(self, replica: str) -> None:
+        """Freeze the process: established sockets stay open but go
+        silent, which is exactly what a link partition or a GC/IO stall
+        looks like to the peers' heartbeat failure detectors."""
+        proc = self.processes.get(replica)
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGSTOP)
+
+    def sigcont(self, replica: str) -> None:
+        """Thaw a SIGSTOPped process (heals a partition/stall window)."""
+        proc = self.processes.get(replica)
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGCONT)
+
     def alive(self, replica: str) -> bool:
         proc = self.processes.get(replica)
         return proc is not None and proc.poll() is None

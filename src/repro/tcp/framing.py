@@ -43,6 +43,8 @@ class FrameType(IntEnum):
     OP = 7  # JSON client/admin request
     OP_REPLY = 8  # JSON client/admin response
     UPDATE_BATCH = 9  # varint count | (varint chanseq | varint len | update)*
+    RESYNC_FULL = 10  # JSON: cursor + issuer seq, "deep replay, ignore acks"
+    ECHO = 11  # wire-encoded update: a peer returning the requester's issue
 
 
 @dataclass(frozen=True)

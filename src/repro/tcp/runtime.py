@@ -64,7 +64,13 @@ from repro.tcp.framing import (
     update_payload,
     uvarint_frame,
 )
-from repro.tcp.wal import WriteAheadLog
+from repro.tcp.wal import (
+    WalEntry,
+    WalRecovery,
+    WriteAheadLog,
+    quarantine_wal,
+    recover_wal,
+)
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
 from repro.wire.codec import (
     canonical_edge_order,
@@ -84,7 +90,13 @@ class TcpConfig:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_cap: float = 2.0
-    backoff_jitter: float = 0.3  # +/- fraction applied to each delay
+    #: Fraction of each backoff delay spread *downward* (full jitter):
+    #: the delay is drawn uniformly from ``[ceiling*(1-jitter), ceiling]``
+    #: where the ceiling never exceeds ``backoff_cap``.  Each link draws
+    #: from its own seeded stream, so N links reconnecting after a
+    #: cluster-wide blackout fan out across the window instead of
+    #: retrying in one synchronized tick.
+    backoff_jitter: float = 0.5
     pending_cap: Optional[int] = 512
     gap_threshold: Optional[int] = 256
     drain_timeout: float = 5.0  # graceful-shutdown flush budget
@@ -98,6 +110,16 @@ class TcpConfig:
     #: Use the numpy-vectorized timestamp kernels (byte-identical to the
     #: scalar ones; silently scalar when numpy is not installed).
     vectorized: bool = False
+    #: Adaptive overload shedding: when the instantaneous backlog
+    #: (pending updates + largest per-peer unacked outbox) exceeds this,
+    #: client writes with priority <= 0 are refused with a typed
+    #: retryable reply instead of being queued -- the event loop stays
+    #: responsive, heartbeats keep flowing, and the failure detector
+    #: stops declaring overloaded-but-alive replicas dead.  ``None``
+    #: disables shedding.
+    shed_threshold: Optional[int] = None
+    #: Retry hint (seconds) returned with a shed reply.
+    shed_retry_after: float = 0.1
 
 
 @dataclass(frozen=True)
@@ -128,6 +150,31 @@ class PeerLink:
         self.frames_sent = 0
         self._writer: Optional[asyncio.StreamWriter] = None
         self._token: Optional[object] = None
+        # Each link draws backoff delays from its own seeded stream:
+        # links that fail together (a cluster-wide blackout) must not
+        # consume a shared stream in lock-step and retry in one wave.
+        self._rng = random.Random(
+            f"{server.seed}:{server.replica_id}:{peer}:backoff"
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter reconnect delay, hard-capped at ``backoff_cap``.
+
+        The exponential ceiling is ``base * factor**attempt`` clamped to
+        ``backoff_cap``; the delay is drawn uniformly from the window
+        ``[ceiling * (1 - jitter), ceiling]``.  Unlike a multiplicative
+        ``+/- jitter`` term this never exceeds the cap, and the window
+        width scales with the ceiling, so after a blackout drives every
+        link to the cap the retries of N links spread across
+        ``jitter * cap`` seconds instead of synchronizing.
+        """
+        cfg = self.server.config
+        ceiling = min(
+            cfg.backoff_cap,
+            cfg.backoff_base * (cfg.backoff_factor ** min(attempt, 32)),
+        )
+        spread = max(0.0, min(1.0, cfg.backoff_jitter))
+        return self._rng.uniform(ceiling * (1.0 - spread), ceiling)
 
     # -- transmit --------------------------------------------------------
     def send_bytes(self, data: bytes) -> bool:
@@ -210,7 +257,13 @@ class PeerLink:
         # The peer's cursor is an implicit cumulative ACK.
         self.server._note_acked(self.peer, cursor)
         await self.server._replay_outbox(self, cursor)
-        if was_suspect:
+        if self.server._take_deep_resync(self.peer):
+            # Boot-time WAL corruption regressed our cursor below what
+            # this peer has already seen acked: ask for a deep replay
+            # (the peer serves below its acked floor, from its own WAL)
+            # plus echoes of our own lost issues.
+            self.server._request_deep_resync(self)
+        elif was_suspect:
             # Reconnect after a suspected partition: escalate to an
             # explicit state pull as well -- the peer may have shed or
             # truncated on its side while we could not see it.
@@ -223,14 +276,14 @@ class PeerLink:
         while self.server.running:
             address = self.server.addresses.get(self.peer)
             if address is None:
-                await asyncio.sleep(self.server._backoff(attempt))
+                await asyncio.sleep(self._backoff(attempt))
                 attempt += 1
                 continue
             host, port = address
             try:
                 reader, writer = await asyncio.open_connection(host, port)
             except OSError:
-                await asyncio.sleep(self.server._backoff(attempt))
+                await asyncio.sleep(self._backoff(attempt))
                 attempt += 1
                 continue
             token = self._attach(writer)
@@ -238,7 +291,7 @@ class PeerLink:
             got_hello = await self.server._read_loop(self, reader, token)
             self._detach(token)
             attempt = 0 if got_hello else attempt + 1
-            await asyncio.sleep(self.server._backoff(attempt))
+            await asyncio.sleep(self._backoff(attempt))
 
     async def heartbeat_forever(self) -> None:
         """Failure detector: ping every interval, suspect on silence."""
@@ -268,6 +321,16 @@ class TcpReplicaStats:
     frames_poisoned: int = 0
     duplicates_dropped: int = 0
     wal_replayed: int = 0
+    #: Boot-time WAL integrity (CRC32) accounting.
+    wal_corrupt_records: int = 0
+    wal_quarantines: int = 0
+    wal_reissued: int = 0  # own issues restored (salvage or peer echo)
+    wal_lost_records: int = 0  # records neither replayed nor salvageable
+    deep_resyncs_requested: int = 0
+    deep_resyncs_served: int = 0
+    #: Overload shedding + backlog accounting.
+    ops_shed: int = 0
+    outbox_high_water: int = 0
 
 
 class TcpReplicaServer:
@@ -316,8 +379,10 @@ class TcpReplicaServer:
         self.stats = TcpReplicaStats()
         self.link_events: List[LinkEvent] = []
         self.on_link_event: Optional[Callable[[LinkEvent], None]] = None
+        self.seed = seed
         self._rng = random.Random(f"{seed}:{replica_id}")
         graphs = all_timestamp_graphs(self.graph)
+        self._edges = graphs[replica_id].edges
         self._orders = {
             rid: canonical_edge_order(graphs[rid].edges)
             for rid in self.graph.replicas
@@ -380,6 +445,13 @@ class TcpReplicaServer:
         self._apply_uid: Optional[UpdateId] = None
         self._replaying = False
         self._accepting_ops = False
+        # WAL corruption recovery: peers still owed a deep-resync
+        # request, the reorder buffer of echoed/salvaged own issues
+        # (issuer seq -> (register name, value, has_value)), and the
+        # write barrier flag (see _recovery_barrier).
+        self._deep_resync: Set[ReplicaId] = set()
+        self._echo_buffer: Dict[int, Tuple[str, Any, bool]] = {}
+        self._recovering = False
         self.running = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
@@ -389,8 +461,19 @@ class TcpReplicaServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        recovery = recover_wal(self.wal.path)
+        if not recovery.clean:
+            # A flipped bit must degrade to a resync, never to a crash
+            # loop: move the damaged file aside, keep the valid prefix
+            # (the replica simply looks like it crashed earlier), and
+            # flag every peer for a deep replay once links come up.
+            quarantine_wal(recovery)
+            self.stats.wal_corrupt_records += len(recovery.corrupt_lines)
+            self.stats.wal_quarantines += 1
         self.wal.open()
-        self._replay_wal()
+        self._replay_wal(recovery.entries)
+        if not recovery.clean:
+            self._begin_corruption_recovery(recovery)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -404,11 +487,11 @@ class TcpReplicaServer:
                 self._tasks.append(asyncio.ensure_future(link.dial_forever()))
             self._tasks.append(asyncio.ensure_future(link.heartbeat_forever()))
 
-    def _replay_wal(self) -> None:
+    def _replay_wal(self, entries: List[WalEntry]) -> None:
         """Rebuild core state and outboxes from the durable log."""
         self._replaying = True
         try:
-            for entry in self.wal.read():
+            for entry in entries:
                 if entry.kind == "issue":
                     register = self._register_by_name.get(
                         entry.register, entry.register
@@ -429,6 +512,208 @@ class TcpReplicaServer:
             )
         for peer in self.links:
             self._enqueued[peer] = set()
+
+    # ------------------------------------------------------------------
+    # WAL corruption recovery
+    # ------------------------------------------------------------------
+    def _begin_corruption_recovery(self, recovery: WalRecovery) -> None:
+        """Salvage the valid suffix of a quarantined WAL, arm deep resync.
+
+        Issue records past the corruption still identify their issuer
+        sequence (``"q"``), so the replica's own acknowledged writes are
+        re-executed -- with their *original* update ids -- through the
+        live core (re-logged, re-sent); peers that already applied them
+        discard the re-sends as stale by channel position.  Apply
+        records past the corruption are dropped here and re-delivered by
+        the peers' deep replays.  Until every channel counter has caught
+        back up with what the peers acked, :meth:`_recovery_barrier`
+        refuses new client writes (they would reuse channel slots the
+        peers have already passed).
+        """
+        for entry in recovery.salvaged:
+            if entry.kind != "issue":
+                continue
+            if entry.seq is None or entry.seq <= self.core.seq:
+                self.stats.wal_lost_records += 1
+                continue
+            self._stash_echo(entry.seq, str(entry.register), entry.value, True)
+        self._drain_echo_buffer()
+        self._recovering = True
+        self._deep_resync = set(self.links)
+
+    def _stash_echo(
+        self, seq: int, register: str, value: Any, has_value: bool
+    ) -> None:
+        existing = self._echo_buffer.get(seq)
+        if existing is None or (has_value and not existing[2]):
+            self._echo_buffer[seq] = (register, value, has_value)
+
+    def _drain_echo_buffer(self) -> None:
+        """Re-issue buffered own updates in contiguous issuer-seq order."""
+        while True:
+            entry = self._echo_buffer.get(self.core.seq + 1)
+            if entry is None or not entry[2]:
+                return
+            del self._echo_buffer[self.core.seq + 1]
+            register = self._register_by_name.get(entry[0], entry[0])
+            self._writing_value = entry[1]
+            self.core.local_write(register, entry[1])
+            self.stats.wal_reissued += 1
+
+    def _take_deep_resync(self, peer: ReplicaId) -> bool:
+        if peer in self._deep_resync:
+            self._deep_resync.discard(peer)
+            return True
+        return False
+
+    def _request_deep_resync(self, link: PeerLink) -> None:
+        self.stats.resyncs_requested += 1
+        self.stats.deep_resyncs_requested += 1
+        self._link_event(
+            "resync", link.peer, "requested deep: wal corruption recovery"
+        )
+        link.send_bytes(
+            json_frame(
+                FrameType.RESYNC_FULL,
+                {
+                    "cursor": self.recv_cursor(link.peer),
+                    "seq": self.core.seq,
+                },
+            )
+        )
+
+    def _recovery_barrier(self) -> bool:
+        """True while client writes must be refused after WAL corruption.
+
+        A corrupt-WAL boot regressed the replica's channel counters; a
+        new write issued now would occupy a channel slot a peer has
+        already delivered past, and be discarded as stale -- silent
+        value loss.  The barrier holds until every peer's cumulative ack
+        (which survives in the peers and returns via HELLO) is no longer
+        ahead of our own send counters, i.e. the deep replays and echoes
+        have rebuilt everything the cluster had already seen from us.
+        Clients see a typed retryable rejection and fail over.
+        """
+        if not self._recovering:
+            return False
+        if self._deep_resync or self._echo_buffer:
+            return True
+        for peer in self.links:
+            ours = self.core.timestamp.get((self.replica_id, peer)) or 0
+            if self._acked[peer] > ours:
+                return True
+        self._recovering = False
+        return False
+
+    async def _serve_deep_resync(
+        self, link: PeerLink, doc: Dict[str, Any]
+    ) -> None:
+        """Serve a corruption-recovery replay, ignoring the acked floor.
+
+        The requester's delivery cursor regressed below what it had
+        already acked, so the normal outbox (trimmed by those acks) no
+        longer holds everything it needs: rebuild the full send history
+        toward it from our own WAL, stream everything above its cursor,
+        and echo back its *own* issues we durably applied past its
+        surviving issuer sequence (its only copy may have been in the
+        corrupt region).
+        """
+        try:
+            cursor = int(doc["cursor"])
+            peer_seq = int(doc["seq"])
+        except (KeyError, TypeError, ValueError):
+            raise WireDecodeError(
+                f"malformed RESYNC_FULL from {link.peer!r}"
+            ) from None
+        self.stats.resyncs_served += 1
+        self.stats.deep_resyncs_served += 1
+        self._link_event("resync", link.peer, "serving deep replay")
+        self.wal.flush()
+        entries = self.wal.read()
+        merged = self._sends_from_wal(entries, link.peer)
+        merged.update(self._outbox[link.peer])
+        for index, chanseq in enumerate(sorted(merged)):
+            if chanseq <= cursor:
+                continue
+            if not link.send_update(chanseq, merged[chanseq]):
+                return
+            if index % 64 == 63 and link._writer is not None:
+                try:
+                    await link._writer.drain()
+                except (ConnectionError, OSError):
+                    return
+        for entry in entries:
+            if entry.kind != "apply":
+                continue
+            src = self._replica_by_name.get(entry.src, entry.src)
+            update = self._decode_update(src, entry.update_bytes)
+            if update.uid.issuer == link.peer and update.uid.seq > peer_seq:
+                link.send_bytes(
+                    json_frame(
+                        FrameType.ECHO,
+                        {"src": str(entry.src), "u": entry.update_bytes.hex()},
+                    )
+                )
+
+    def _sends_from_wal(
+        self, entries: List[WalEntry], peer: ReplicaId
+    ) -> Dict[int, bytes]:
+        """Regenerate every update ever sent to ``peer``, keyed by chanseq.
+
+        Replaying our WAL through a fresh core reproduces the original
+        ``Send`` effects (the core is deterministic in its event order);
+        only the sends toward ``peer`` are collected and wire-encoded.
+        """
+        collected: Dict[int, bytes] = {}
+        me = self.replica_id
+
+        def collect(eff: Effect) -> None:
+            if eff.__class__ is Send and eff.dst == peer:
+                chanseq = eff.update.timestamp.get((me, peer))
+                if chanseq is not None:
+                    collected[chanseq] = encode_update(
+                        eff.update, self._orders[me]
+                    )
+
+        core = ProtocolCore(
+            me,
+            self.graph,
+            EdgeIndexedPolicy(self.graph, me, edges=self._edges),
+            collect,
+            clock=time.time,
+            record_history=False,
+            emit_confirm=False,
+            size_wire=False,
+        )
+        for entry in entries:
+            if entry.kind == "issue":
+                register = self._register_by_name.get(
+                    entry.register, entry.register
+                )
+                core.local_write(register, entry.value)
+            else:
+                src = self._replica_by_name.get(entry.src, entry.src)
+                core.remote_update(src, self._decode_update(src, entry.update_bytes))
+        return collected
+
+    def _on_echo(self, doc: Dict[str, Any]) -> None:
+        """A peer returned one of our own (possibly lost) issues."""
+        try:
+            src = self._replica_by_name[doc["src"]]
+            raw = bytes.fromhex(doc["u"])
+        except (KeyError, TypeError, ValueError):
+            raise WireDecodeError("malformed ECHO frame") from None
+        update = self._decode_update(src, raw)
+        uid = update.uid
+        if uid.issuer != self.replica_id or uid.seq <= self.core.seq:
+            return  # already restored (or never lost)
+        self._stash_echo(
+            uid.seq,
+            str(update.register),
+            update.value,
+            not update.metadata_only,
+        )
+        self._drain_echo_buffer()
 
     async def shutdown(self) -> None:
         """Graceful: flush unacked outbox suffixes, say BYE, close."""
@@ -487,7 +772,10 @@ class TcpReplicaServer:
             if chanseq is None:  # pragma: no cover - incident edges exist
                 raise ProtocolError(f"no out-edge toward {eff.dst!r}")
             encoded = encode_update(eff.update, self._orders[self.replica_id])
-            self._outbox[eff.dst][chanseq] = encoded
+            outbox = self._outbox[eff.dst]
+            outbox[chanseq] = encoded
+            if len(outbox) > self.stats.outbox_high_water:
+                self.stats.outbox_high_water = len(outbox)
             if self._replaying:
                 return
             if self.config.batch_window > 0:
@@ -505,7 +793,10 @@ class TcpReplicaServer:
             if eff.kind == "issue":
                 if not self._replaying:
                     self.wal.append_issue(
-                        str(eff.register), self._writing_value, eff.time
+                        str(eff.register),
+                        self._writing_value,
+                        eff.time,
+                        seq=eff.uid.seq,
                     )
             else:
                 self._apply_uid = eff.uid
@@ -665,6 +956,10 @@ class TcpReplicaServer:
                     self.stats.resyncs_served += 1
                     self._link_event("resync", link.peer, "serving replay")
                     await self._replay_outbox(link, frame.uvarint())
+                elif frame.type is FrameType.RESYNC_FULL:
+                    await self._serve_deep_resync(link, frame.json())
+                elif frame.type is FrameType.ECHO:
+                    self._on_echo(frame.json())
                 elif frame.type is FrameType.HEARTBEAT:
                     pass  # last_heard update above is the whole point
                 elif frame.type is FrameType.BYE:
@@ -817,6 +1112,26 @@ class TcpReplicaServer:
                 cached = self._dedup.get(key)
                 if cached is not None:
                     return cached  # exactly-once within this incarnation
+            if self._recovery_barrier():
+                return {
+                    "ok": False,
+                    "error": "recovering",
+                    "shed": True,
+                    "retry_after": self.config.shed_retry_after,
+                }
+            priority = 0
+            try:
+                priority = int(doc.get("priority", 0) or 0)
+            except (TypeError, ValueError):
+                pass
+            if priority <= 0 and self._overloaded():
+                self.stats.ops_shed += 1
+                return {
+                    "ok": False,
+                    "error": "overloaded",
+                    "shed": True,
+                    "retry_after": self.config.shed_retry_after,
+                }
             register = self._register_by_name.get(doc.get("register"))
             if register is None or register not in self.core.store:
                 return {"ok": False, "error": "unknown register"}
@@ -863,6 +1178,19 @@ class TcpReplicaServer:
             return {"ok": True, "replica": str(self.replica_id)}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
+    def _overloaded(self) -> bool:
+        """Instantaneous backlog vs the shedding threshold (off = never)."""
+        threshold = self.config.shed_threshold
+        if threshold is None:
+            return False
+        backlog = self.core.pending_count
+        worst = 0
+        for peer, outbox in self._outbox.items():
+            unacked = len(outbox)
+            if unacked > worst:
+                worst = unacked
+        return backlog + worst > threshold
+
     def status(self) -> Dict[str, Any]:
         metrics = self.core.metrics
         return {
@@ -886,14 +1214,24 @@ class TcpReplicaServer:
                 }
                 for peer, link in self.links.items()
             },
+            "recovering": self._recovering,
             "metrics": {
                 "issued": metrics.issued,
                 "applied_remote": metrics.applied_remote,
                 "stale_discarded": metrics.stale_discarded,
                 "updates_shed": metrics.updates_shed,
+                "pending_high_water": metrics.pending_high_water,
+                "outbox_high_water": self.stats.outbox_high_water,
                 "resyncs_requested": self.stats.resyncs_requested,
                 "resyncs_served": self.stats.resyncs_served,
+                "deep_resyncs_requested": self.stats.deep_resyncs_requested,
+                "deep_resyncs_served": self.stats.deep_resyncs_served,
                 "wal_replayed": self.stats.wal_replayed,
+                "wal_corrupt_records": self.stats.wal_corrupt_records,
+                "wal_quarantines": self.stats.wal_quarantines,
+                "wal_reissued": self.stats.wal_reissued,
+                "wal_lost_records": self.stats.wal_lost_records,
+                "ops_shed": self.stats.ops_shed,
             },
         }
 
@@ -919,19 +1257,20 @@ class TcpReplicaServer:
 
     async def write(self, register: RegisterName, value: Any) -> UpdateId:
         """In-process write entry point (tests, benchmarks)."""
+        if self._recovery_barrier():
+            # The socket path sheds with a typed retryable reply; the
+            # in-process path has no retry loop, so refuse loudly --
+            # issuing now would take a channel slot the peers already
+            # delivered past and the write would be discarded as stale.
+            raise ProtocolError(
+                f"replica {self.replica_id!r} is recovering from WAL "
+                "corruption and cannot accept writes yet"
+            )
         self._writing_value = value
         return self.core.local_write(register, value)
 
     def read(self, register: RegisterName) -> Any:
         return self.core.read(register)
-
-    def _backoff(self, attempt: int) -> float:
-        cfg = self.config
-        delay = min(
-            cfg.backoff_cap,
-            cfg.backoff_base * (cfg.backoff_factor ** min(attempt, 32)),
-        )
-        return delay * (1.0 + cfg.backoff_jitter * self._rng.uniform(-1.0, 1.0))
 
     def _loop_time(self) -> float:
         return asyncio.get_event_loop().time()

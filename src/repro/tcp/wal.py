@@ -1,10 +1,11 @@
 """Per-replica write-ahead log for the TCP runtime.
 
 Each replica appends one JSONL record per protocol event -- its own
-issues (register + value) and its applies of remote updates (sender +
-the exact wire encoding of the update) -- and flushes before the event's
-external consequences (sends, acks) leave the process.  A SIGKILL can
-therefore lose at most work that was never acknowledged to anyone.
+issues (register + value + issuer sequence) and its applies of remote
+updates (sender + the exact wire encoding of the update) -- and flushes
+before the event's external consequences (sends, acks) leave the
+process.  A SIGKILL can therefore lose at most work that was never
+acknowledged to anyone.
 
 The log serves three masters:
 
@@ -22,20 +23,34 @@ The log serves three masters:
   nothing unacked is ever lost.
 
 Records are plain JSON with hex-encoded wire bytes: greppable, and free
-of any schema the codec does not already define.  A torn final line
-(the process died mid-write) is tolerated and dropped; corruption
-anywhere else raises, because silently skipping acknowledged events
-would turn the audit into a rubber stamp.
+of any schema the codec does not already define.  Every record carries a
+CRC32 (``"c"``) over its canonical serialization, so a flipped bit on
+disk is *detected* rather than silently replayed into a diverged state.
+A torn final line (the process died mid-write) is tolerated and dropped.
+
+Two read disciplines share the format:
+
+* :func:`read_wal` is **strict** -- corruption anywhere but the torn
+  tail raises, because silently skipping acknowledged events would turn
+  the post-run audit into a rubber stamp;
+* :func:`recover_wal` is the **boot-time** discipline -- it splits the
+  log at the first corrupt record into a valid prefix (safe to replay:
+  the replica simply looks like it crashed earlier), the salvageable
+  suffix (records after the corruption that still parse and checksum;
+  their *issues* can be re-executed in issuer-sequence order), and the
+  corruption metadata the runtime uses to quarantine the damaged file
+  and escalate to a deep resync instead of crash-looping.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, WalCorruptionError
 from repro.wire.codec import decode_value, encode_value
 
 
@@ -49,6 +64,14 @@ class WalEntry:
     value: Any = None  # issue
     src: Optional[str] = None  # apply
     update_bytes: Optional[bytes] = None  # apply
+    seq: Optional[int] = None  # issue: the issuer sequence of the update
+
+
+def record_crc(doc: dict) -> int:
+    """CRC32 over the canonical serialization of ``doc`` minus ``"c"``."""
+    body = {key: value for key, value in doc.items() if key != "c"}
+    payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
 class WriteAheadLog:
@@ -76,15 +99,22 @@ class WriteAheadLog:
             os.makedirs(directory, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
 
-    def append_issue(self, register: str, value: Any, time: float) -> None:
-        self._append(
-            {
-                "k": "issue",
-                "t": time,
-                "x": register,
-                "v": encode_value(value).hex(),
-            }
-        )
+    def append_issue(
+        self,
+        register: str,
+        value: Any,
+        time: float,
+        seq: Optional[int] = None,
+    ) -> None:
+        doc = {
+            "k": "issue",
+            "t": time,
+            "x": register,
+            "v": encode_value(value).hex(),
+        }
+        if seq is not None:
+            doc["q"] = seq
+        self._append(doc)
 
     def append_apply(self, src: str, update_bytes: bytes, time: float) -> None:
         self._append(
@@ -94,6 +124,7 @@ class WriteAheadLog:
     def _append(self, doc: dict) -> None:
         if self._fh is None:
             raise ProtocolError(f"WAL {self.path} is not open")
+        doc["c"] = record_crc(doc)
         self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
         # flush() hands the bytes to the kernel: they survive SIGKILL of
         # this process (the failure mode under test), though not a host
@@ -121,42 +152,173 @@ class WriteAheadLog:
         return list(read_wal(self.path))
 
 
-def read_wal(path: str) -> Iterator[WalEntry]:
-    """Yield the durable entries of one replica's log, in order."""
-    if not os.path.exists(path):
-        return
+def _parse_record(doc: dict, path: str, lineno: int) -> WalEntry:
+    kind = doc.get("k")
+    if kind == "issue":
+        value, _ = decode_value(bytes.fromhex(doc["v"]))
+        return WalEntry(
+            kind="issue",
+            time=float(doc["t"]),
+            register=doc["x"],
+            value=value,
+            seq=int(doc["q"]) if "q" in doc else None,
+        )
+    if kind == "apply":
+        return WalEntry(
+            kind="apply",
+            time=float(doc["t"]),
+            src=doc["s"],
+            update_bytes=bytes.fromhex(doc["u"]),
+        )
+    raise ProtocolError(
+        f"unknown WAL record kind {kind!r} at {path}:{lineno + 1}"
+    )
+
+
+#: Line classifications: ``_OK`` carries a doc; ``_TORN`` is a line that
+#: does not parse as a complete JSON object (what an interrupted write
+#: leaves behind); ``_CORRUPT`` is a *complete* record whose CRC32 does
+#: not match -- a torn write cannot produce one, so a corrupt final line
+#: is treated as corruption, never as an innocent torn tail (it may
+#: already be acknowledged to peers).  A bit flip that destroys the
+#: final line's JSON structure is indistinguishable from a torn write
+#: and is dropped like one -- the one corruption the checksum cannot
+#: separate from an ordinary crash.
+_OK, _TORN, _CORRUPT = "ok", "torn", "corrupt"
+
+
+def _classify_line(line: str) -> tuple:
+    try:
+        doc = json.loads(line)
+    except ValueError:
+        return _TORN, None
+    if not isinstance(doc, dict):
+        return _CORRUPT, None
+    # Pre-checksum logs (records written before the "c" field existed)
+    # stay readable; any present checksum must match.
+    if "c" in doc and doc["c"] != record_crc(doc):
+        return _CORRUPT, None
+    return _OK, doc
+
+
+def _decode_line(line: str) -> Optional[dict]:
+    """Parse + checksum one WAL line; ``None`` means it is not usable."""
+    status, doc = _classify_line(line)
+    return doc if status == _OK else None
+
+
+def _wal_lines(path: str) -> List[str]:
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.read().split("\n")
     # A trailing newline leaves one empty element; a torn write leaves a
     # partial JSON document in the final element only.
     while lines and lines[-1] == "":
         lines.pop()
+    return lines
+
+
+def read_wal(path: str) -> Iterator[WalEntry]:
+    """Yield the durable entries of one replica's log, in order.
+
+    Strict: a record that fails to parse or fails its CRC32 raises
+    (except the torn final line, which is dropped -- the event never
+    "happened").  Boot-time recovery uses :func:`recover_wal` instead.
+    """
+    if not os.path.exists(path):
+        return
+    lines = _wal_lines(path)
     for lineno, line in enumerate(lines):
-        try:
-            doc = json.loads(line)
-        except ValueError:
-            if lineno == len(lines) - 1:
-                return  # torn final record: the event never "happened"
-            raise ProtocolError(
+        status, doc = _classify_line(line)
+        if status == _TORN and lineno == len(lines) - 1:
+            return  # torn final record: the event never "happened"
+        if status != _OK:
+            raise WalCorruptionError(
                 f"corrupt WAL record at {path}:{lineno + 1}"
             ) from None
-        kind = doc.get("k")
-        if kind == "issue":
-            value, _ = decode_value(bytes.fromhex(doc["v"]))
-            yield WalEntry(
-                kind="issue",
-                time=float(doc["t"]),
-                register=doc["x"],
-                value=value,
-            )
-        elif kind == "apply":
-            yield WalEntry(
-                kind="apply",
-                time=float(doc["t"]),
-                src=doc["s"],
-                update_bytes=bytes.fromhex(doc["u"]),
-            )
+        yield _parse_record(doc, path, lineno)
+
+
+@dataclass
+class WalRecovery:
+    """Boot-time split of a (possibly damaged) WAL.
+
+    ``entries`` is the longest valid prefix -- replaying exactly it is
+    always sound (the replica behaves as if it crashed at that point).
+    ``salvaged`` holds the still-valid records *after* the first corrupt
+    line: their issue records (with contiguous issuer sequences) can be
+    re-executed so the replica's own acknowledged writes survive a
+    mid-file flip; their applies are dropped and recovered from the
+    peers via deep resync.  ``corrupt_lines`` are 1-based line numbers
+    that failed parse or CRC (the torn final line is reported in
+    ``torn_tail`` instead and is not corruption).
+    """
+
+    path: str
+    entries: List[WalEntry] = field(default_factory=list)
+    prefix_lines: List[str] = field(default_factory=list)
+    salvaged: List[WalEntry] = field(default_factory=list)
+    corrupt_lines: List[int] = field(default_factory=list)
+    total_lines: int = 0
+    torn_tail: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt_lines
+
+
+def recover_wal(path: str) -> WalRecovery:
+    """Split ``path`` into valid prefix / corrupt lines / salvaged suffix."""
+    recovery = WalRecovery(path=path)
+    if not os.path.exists(path):
+        return recovery
+    lines = _wal_lines(path)
+    recovery.total_lines = len(lines)
+    corrupted = False
+    for lineno, line in enumerate(lines):
+        status, doc = _classify_line(line)
+        if status != _OK:
+            if (
+                status == _TORN
+                and lineno == len(lines) - 1
+                and not corrupted
+            ):
+                # An incomplete final line on an otherwise clean log is
+                # the ordinary torn tail, not corruption.  A *complete*
+                # final record with a bad checksum is corruption: the
+                # event may already be acknowledged, so it must go
+                # through quarantine + resync repair, not be dropped.
+                recovery.torn_tail = True
+                return recovery
+            corrupted = True
+            recovery.corrupt_lines.append(lineno + 1)
+            continue
+        entry = _parse_record(doc, path, lineno)
+        if corrupted:
+            recovery.salvaged.append(entry)
         else:
-            raise ProtocolError(
-                f"unknown WAL record kind {kind!r} at {path}:{lineno + 1}"
-            )
+            recovery.entries.append(entry)
+            recovery.prefix_lines.append(line)
+    return recovery
+
+
+def quarantine_wal(recovery: WalRecovery) -> str:
+    """Move the damaged log aside and rewrite it as its valid prefix.
+
+    The original file is preserved verbatim at ``<path>.corrupt-N`` for
+    forensics; the live path is rewritten with the prefix lines copied
+    byte-for-byte (so their checksums still verify).  Returns the
+    quarantine path.
+    """
+    base = recovery.path + ".corrupt"
+    quarantine = base
+    counter = 0
+    while os.path.exists(quarantine):
+        counter += 1
+        quarantine = f"{base}-{counter}"
+    os.replace(recovery.path, quarantine)
+    with open(recovery.path, "w", encoding="utf-8") as fh:
+        for line in recovery.prefix_lines:
+            fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return quarantine

@@ -122,3 +122,72 @@ def test_modelcheck_command_caps_states(capsys):
         )
         == 0
     )
+
+
+def test_soak_parser_defaults_and_choices():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "soak",
+            "--scenario",
+            "corrupt-wal",
+            "--workdir",
+            "/tmp/soak",
+            "--duration",
+            "45",
+            "--report",
+            "series.jsonl",
+        ]
+    )
+    assert args.scenario == "corrupt-wal"
+    assert args.duration == 45.0
+    assert args.replicas == 3 and args.sessions == 4
+    assert args.sample_interval == 1.0 and args.pipeline == 1
+    assert args.think == 0.0
+    assert args.func.__name__ == "cmd_soak"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["soak", "--scenario", "nope", "--workdir", "/t"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["soak"])  # --workdir is required
+
+
+def test_cluster_load_parser_gains_pipeline_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["cluster", "load", "--workdir", "/tmp/c", "--pipeline", "8"]
+    )
+    assert args.pipeline == 8
+
+
+def test_soak_command_runs_a_tiny_steady_soak(tmp_path, capsys):
+    report = tmp_path / "series.jsonl"
+    summary = tmp_path / "summary.json"
+    code = main(
+        [
+            "soak",
+            "--scenario",
+            "steady",
+            "--workdir",
+            str(tmp_path / "work"),
+            "--duration",
+            "4",
+            "--sessions",
+            "1",
+            "--report",
+            str(report),
+            "--summary",
+            str(summary),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "soak steady" in out
+    assert report.exists() and summary.exists()
+
+
+test_soak_command_runs_a_tiny_steady_soak = pytest.mark.slow(
+    test_soak_command_runs_a_tiny_steady_soak
+)

@@ -324,6 +324,63 @@ class TestFailureDetector:
 
 
 # ----------------------------------------------------------------------
+# Reconnect backoff: full jitter, no thundering herd
+# ----------------------------------------------------------------------
+class TestReconnectBackoff:
+    def _all_links(self, wal_dir):
+        # An 8-clique constructed (not started): 8 servers x 7 links.
+        placements = {f"r{i}": {"shared"} for i in range(8)}
+        cluster = TcpCluster(placements, wal_dir)
+        return [
+            link
+            for server in cluster.servers.values()
+            for link in server.links.values()
+        ]
+
+    def test_jittered_delays_stay_under_the_cap(self, tmp_path):
+        links = self._all_links(str(tmp_path))
+        cap = TcpConfig().backoff_cap
+        for attempt in (0, 3, 10, 40):
+            for link in links:
+                delay = link._backoff(attempt)
+                assert 0 < delay <= cap + 1e-9
+
+    def test_no_reconnect_storm_after_a_blackout(self, tmp_path):
+        """Many links waking from the same blackout must not redial in
+        one tick window: at the capped ceiling, full jitter spreads the
+        delays across [cap/2, cap] with no dominant bucket."""
+        links = self._all_links(str(tmp_path))
+        assert len(links) == 56
+        cap = TcpConfig().backoff_cap
+        delays = [link._backoff(10) for link in links]  # ceiling == cap
+        assert all(cap * 0.5 - 1e-9 <= d <= cap + 1e-9 for d in delays)
+        assert max(delays) - min(delays) > cap * 0.3
+        # Bucket into 100ms tick windows: no window may capture a
+        # majority of the fleet (the amplification the jitter prevents).
+        buckets: dict = {}
+        for delay in delays:
+            buckets[int(delay / 0.1)] = buckets.get(int(delay / 0.1), 0) + 1
+        assert max(buckets.values()) <= len(links) * 0.4
+        # Per-link sequences are seeded: a rebuilt fleet draws the same
+        # delays (reproducible chaos runs), distinct links draw distinct
+        # ones (that is where the spread comes from).
+        again = self._all_links(str(tmp_path))
+        assert [link._backoff(10) for link in again] == delays
+        assert len(set(delays)) > len(links) // 2
+
+    def test_zero_jitter_degenerates_to_pure_exponential(self, tmp_path):
+        placements = {"a": {"x"}, "b": {"x"}}
+        config = TcpConfig(backoff_jitter=0.0)
+        cluster = TcpCluster(placements, str(tmp_path), config=config)
+        link = cluster.servers["a"].links["b"]
+        assert link._backoff(0) == pytest.approx(config.backoff_base)
+        assert link._backoff(1) == pytest.approx(
+            config.backoff_base * config.backoff_factor
+        )
+        assert link._backoff(30) == pytest.approx(config.backoff_cap)
+
+
+# ----------------------------------------------------------------------
 # Satellite 3 regression: donor dies mid sync transfer
 # ----------------------------------------------------------------------
 class TestCrashDuringSyncTransfer:

@@ -27,7 +27,7 @@ from repro.harness.process_chaos import (
     run_process_chaos_trial,
 )
 from repro.tcp.cluster import ProcessCluster
-from repro.tcp.runtime import TcpCluster
+from repro.tcp.runtime import TcpCluster, TcpConfig
 from repro.tcp.wal import read_wal
 
 
@@ -133,6 +133,64 @@ class TestProcessCluster:
 
             violations, events = audit_cluster(cluster, graph)
             assert violations == []
+            assert events > 0
+
+        drive(scenario())
+
+    @pytest.mark.parametrize(
+        "label,config",
+        [
+            ("flush-per-append", TcpConfig()),
+            ("buffered", TcpConfig(batch_window=0.01, batch_max=8)),
+        ],
+    )
+    def test_sigkill_mid_window_replays_cleanly(
+        self, tmp_path, label, config
+    ):
+        """SIGKILL while writes are in flight, in both WAL flush modes.
+
+        The buffered mode is the PR 7 regression target: the kill can
+        tear the final (unflushed) line, which recovery must drop as
+        never-happened -- no quarantine, no duplicate enqueue after the
+        cursor-replay HELLO, and a merged audit with zero violations."""
+
+        async def scenario():
+            placements = ring_placements(3)
+            graph = ShareGraph({r: set(x) for r, x in placements.items()})
+            cluster = ProcessCluster(placements, str(tmp_path), config=config)
+            try:
+                cluster.start_all()
+                await cluster.wait_ready()
+
+                load = asyncio.ensure_future(
+                    run_load(
+                        cluster.addresses, placements, sessions=2,
+                        writes_per_session=40, seed=9,
+                    )
+                )
+                await asyncio.sleep(0.25)  # mid-burst, mid-window
+                cluster.sigkill("r1")
+                cluster.spawn("r1")  # same WAL, same port
+                report = await load
+                # Every op either completed or exhausted its budget
+                # loudly -- nothing vanished.
+                assert report.ops + report.errors == 80
+                assert report.ops > 0
+
+                await cluster.wait_ready()
+                await cluster.settle(timeout=30)
+                statuses = await cluster.statuses()
+                # A torn tail is the expected crash artifact, never
+                # corruption: recovery must not quarantine anything.
+                metrics = statuses["r1"]["metrics"]
+                assert metrics["wal_quarantines"] == 0
+                assert metrics["wal_corrupt_records"] == 0
+                await cluster.shutdown_all()
+            finally:
+                cluster.terminate_all()
+
+            violations, events = audit_cluster(cluster, graph)
+            assert violations == [], (label, violations)
             assert events > 0
 
         drive(scenario())
