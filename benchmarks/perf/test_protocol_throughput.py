@@ -90,3 +90,17 @@ def test_regression_check_logic() -> None:
         {"optimized": {"b": {"ops_per_s": 5.0}}}, committed, tolerance=0.30
     )
     assert only_one.ok  # disjoint scenarios are reported, not failed
+
+
+def test_shard_row_metadata_economy() -> None:
+    """The shard row's headline: >=5x fewer metadata bytes per logical
+    write than the monolithic share graph, even at quick sizes (byte
+    counts are seeded and deterministic, so no noise margin is needed),
+    with both measurements present in the emitted document."""
+    doc = bench.run_bench(names=["shard-128"], quick=True, repeats=1)
+    row = doc["optimized"]["shard-128"]
+    assert row["replicas"] == 128
+    assert row["metadata_bytes_per_op"] > 0
+    assert row["metadata_ratio"] >= 5.0
+    # No baseline/batched shadow rows for the shard runtime.
+    assert "baseline" not in doc or "shard-128" not in doc["baseline"]

@@ -266,6 +266,57 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Seeded sharded-deployment smoke: build, run, verify, price."""
+    from repro.shard import (
+        ShardedSystem,
+        monolithic_metadata_bytes_per_op,
+        social_shard_plan,
+    )
+    from repro.workloads.operations import run_workload, zipf_writes
+
+    plan = social_shard_plan(
+        replicas=args.replicas, group_size=args.group_size, seed=args.seed
+    )
+    info = plan.describe()
+    print(
+        f"shard plan: {info['replicas']} replicas in {info['groups']} "
+        f"groups, {info['group_registers']} in-group + "
+        f"{info['cross_registers']} cross registers, "
+        f"{info['tree_edges']} tree edges"
+    )
+    system = ShardedSystem(plan, seed=args.seed + 4, batch_window=4.0)
+    stream = zipf_writes(
+        plan.logical_graph(),
+        args.writes,
+        rate=args.rate,
+        skew=args.skew,
+        seed=args.seed + 8,
+    )
+    run_workload(system, stream)
+    report = system.check()
+    failures = system.audit_stores()
+    print(
+        f"  {len(stream)} logical writes, quiescent={system.quiescent()}, "
+        f"checker {'ok' if report.ok else 'VIOLATION'}, "
+        f"store audit {'ok' if not failures else 'FAILED'}"
+    )
+    shard_md = system.metadata_bytes_per_op(len(stream))
+    mono_md = monolithic_metadata_bytes_per_op(
+        plan, min(len(stream), 240), rate=args.rate, skew=args.skew
+    )
+    print(
+        f"  metadata: sharded {shard_md:.1f} B/op vs monolithic "
+        f"{mono_md:.1f} B/op ({mono_md / max(shard_md, 1e-9):.1f}x)"
+    )
+    if not report.ok:
+        print(f"FAIL: {report}", file=sys.stderr)
+        return 1
+    for failure in failures[:5]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -561,7 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="protocol throughput benchmarks"
     )
     p_bench.add_argument(
-        "--scenarios", default=None, help="comma-separated names, e.g. dense-24"
+        "--scenarios",
+        "--scenario",
+        default=None,
+        help="comma-separated names, e.g. dense-24 (so a CI job can run "
+        "one row -- say shard-128 -- without paying for the whole matrix)",
     )
     p_bench.add_argument(
         "--quick", action="store_true", help="small write counts, for CI smoke"
@@ -590,6 +645,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional ops/s drop vs the committed document",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="sharded deployment smoke: multicast groups + tree overlay",
+    )
+    p_shard.add_argument(
+        "--replicas", type=int, default=128, help="total replicas"
+    )
+    p_shard.add_argument(
+        "--group-size",
+        type=int,
+        default=8,
+        dest="group_size",
+        help="replicas per group (keep small: per-group loop enumeration "
+        "is exponential in this)",
+    )
+    p_shard.add_argument(
+        "--writes", type=int, default=1200, help="logical writes to issue"
+    )
+    p_shard.add_argument("--rate", type=float, default=400.0, help="writes/s")
+    p_shard.add_argument(
+        "--skew", type=float, default=0.8, help="Zipf skew of the workload"
+    )
+    p_shard.add_argument("--seed", type=int, default=3, help="plan/run seed")
+    p_shard.set_defaults(func=cmd_shard)
 
     p_cluster = sub.add_parser(
         "cluster", help="real-socket TCP cluster runtime"

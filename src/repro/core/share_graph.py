@@ -179,6 +179,24 @@ class ShareGraph:
             {r: regs - {x} for r, regs in self._placements.items()}
         )
 
+    def induced(self, replicas: Iterable[ReplicaId]) -> "ShareGraph":
+        """The subgraph induced by ``replicas``, with full register sets.
+
+        Register sets are kept intact (not restricted to registers shared
+        inside the subset), so ``shared(i, j)`` and the loop conditions of
+        Definition 4 evaluate exactly as in the full graph for any cycle
+        whose vertices all lie in ``replicas``.  The sharding layer relies
+        on this: when a subset is separated from the rest of the graph by
+        bridge edges, its induced subgraph has the same simple cycles --
+        and therefore the same timestamp-graph loop edges -- as the full
+        graph.
+        """
+        keep = set(replicas)
+        unknown = keep - set(self._placements)
+        if unknown:
+            raise UnknownReplicaError(sorted(unknown, key=_sort_key)[0])
+        return ShareGraph({r: self._placements[r] for r in keep})
+
     # ------------------------------------------------------------------
     # Dunder / interop
     # ------------------------------------------------------------------

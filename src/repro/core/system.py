@@ -98,6 +98,45 @@ class SystemMetrics:
         return sum(self.timestamp_counters.values())
 
 
+def aggregate_metrics(
+    replicas: Mapping[ReplicaId, Replica], network: Network
+) -> SystemMetrics:
+    """Aggregate :class:`SystemMetrics` over any set of wired replicas.
+
+    Shared by :class:`DSMSystem` and the sharding layer's
+    :class:`~repro.shard.ShardedSystem`, which wires replicas manually
+    over one network but reports the same metrics document.
+    """
+    delay_total = sum(r.metrics.apply_delay_total for r in replicas.values())
+    delay_count = sum(r.metrics.applied_remote for r in replicas.values())
+    stats = network.stats
+    return SystemMetrics(
+        timestamp_counters={
+            rid: r.policy.counters() for rid, r in replicas.items()
+        },
+        messages_sent=stats.messages_sent,
+        messages_delivered=stats.messages_delivered,
+        metadata_counters_sent=stats.metadata_counters_sent,
+        metadata_bytes_sent=stats.metadata_bytes_sent,
+        issued=sum(r.metrics.issued for r in replicas.values()),
+        applied_remote=delay_count,
+        pending_high_water=max(
+            (r.metrics.pending_high_water for r in replicas.values()),
+            default=0,
+        ),
+        mean_apply_delay=delay_total / delay_count if delay_count else 0.0,
+        syncs=sum(r.metrics.syncs for r in replicas.values()),
+        updates_shed=sum(r.metrics.updates_shed for r in replicas.values()),
+        stale_discarded=sum(
+            r.metrics.stale_discarded for r in replicas.values()
+        ),
+        unacked_high_water=stats.unacked_high_water,
+        retransmit_log_compacted=stats.retransmit_log_compacted,
+        retransmit_log_compacted_bytes=stats.retransmit_log_compacted_bytes,
+        retransmit_log_truncated=stats.retransmit_log_truncated,
+    )
+
+
 class DSMSystem:
     """A complete simulated partially replicated DSM.
 
@@ -324,42 +363,7 @@ class DSMSystem:
 
     def metrics(self) -> SystemMetrics:
         """Aggregate protocol metrics for the run so far."""
-        delay_total = sum(
-            r.metrics.apply_delay_total for r in self.replicas.values()
-        )
-        delay_count = sum(
-            r.metrics.applied_remote for r in self.replicas.values()
-        )
-        stats = self.network.stats
-        return SystemMetrics(
-            timestamp_counters={
-                rid: r.policy.counters() for rid, r in self.replicas.items()
-            },
-            messages_sent=self.network.stats.messages_sent,
-            messages_delivered=self.network.stats.messages_delivered,
-            metadata_counters_sent=self.network.stats.metadata_counters_sent,
-            metadata_bytes_sent=self.network.stats.metadata_bytes_sent,
-            issued=sum(r.metrics.issued for r in self.replicas.values()),
-            applied_remote=sum(
-                r.metrics.applied_remote for r in self.replicas.values()
-            ),
-            pending_high_water=max(
-                (r.metrics.pending_high_water for r in self.replicas.values()),
-                default=0,
-            ),
-            mean_apply_delay=delay_total / delay_count if delay_count else 0.0,
-            syncs=sum(r.metrics.syncs for r in self.replicas.values()),
-            updates_shed=sum(
-                r.metrics.updates_shed for r in self.replicas.values()
-            ),
-            stale_discarded=sum(
-                r.metrics.stale_discarded for r in self.replicas.values()
-            ),
-            unacked_high_water=stats.unacked_high_water,
-            retransmit_log_compacted=stats.retransmit_log_compacted,
-            retransmit_log_compacted_bytes=stats.retransmit_log_compacted_bytes,
-            retransmit_log_truncated=stats.retransmit_log_truncated,
-        )
+        return aggregate_metrics(self.replicas, self.network)
 
     def __repr__(self) -> str:
         return f"DSMSystem({len(self.replicas)} replicas)"

@@ -40,6 +40,13 @@ from repro.workloads import (
 SCHEMA = "repro-bench/1"
 
 
+def _social_plan(**kwargs: object):
+    """Deferred shard-plan builder so importing bench stays light."""
+    from repro.shard import social_shard_plan
+
+    return social_shard_plan(**kwargs)  # type: ignore[arg-type]
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One benchmark case: a topology family plus a write workload.
@@ -53,8 +60,11 @@ class Scenario:
     ``runtime`` selects the execution substrate: ``"sim"`` (the default
     discrete-event simulator), ``"aio"`` (the live asyncio runtime,
     pricing the same shared protocol core behind real event-loop
-    scheduling), or ``"tcp"`` (an in-process loopback TCP cluster where
-    every write is a real socket round-trip; see ``_run_tcp_once``).
+    scheduling), ``"tcp"`` (an in-process loopback TCP cluster where
+    every write is a real socket round-trip; see ``_run_tcp_once``), or
+    ``"shard"`` (a :class:`~repro.shard.system.ShardedSystem` built from
+    ``shard_plan``, driven by a Zipf workload over the plan's logical
+    register space; see ``_run_shard_once``).
     Asyncio runs still time CPU via ``process_time`` --
     sleeping on message delays costs no CPU -- but their delivery
     interleavings are wall-clock dependent, so their memory high-water
@@ -78,6 +88,11 @@ class Scenario:
     #: client (an in-flight window per connection) instead of
     #: write-await-write.
     pipelined: bool = False
+    #: Shard scenarios only: builds the :class:`~repro.shard.plan.ShardPlan`
+    #: (``placements`` is unused for this runtime).
+    shard_plan: Optional[Callable[[], object]] = None
+    #: Shard scenarios only: Zipf skew of the logical write workload.
+    skew: float = 1.2
 
     def build_system(
         self,
@@ -182,6 +197,42 @@ SCENARIOS: Dict[str, Scenario] = {
             batch_window=0.005,
             pipelined=True,
         ),
+        # shard-*: hundreds of replicas as multicast groups over a tree
+        # overlay (repro.shard).  The rows report metadata bytes per
+        # logical write against the monolithic share graph over the same
+        # logical register space -- the headline economy of sharding.
+        # Skew 0.8 keeps the celebrity (cross-group) share of the
+        # workload at the ~20% a social write mix exhibits; group size
+        # stays at 8 because the per-group loop enumeration is the
+        # paper's exponential computation confined to one group.
+        # Quick sizes stay >= 1200: below that, the lazy per-sender plan
+        # compilation (only merge plans are prewarmed) eats a visible
+        # fraction of the timed region and quick ops/s sits far below
+        # the committed full-mode rows.
+        Scenario(
+            "shard-128",
+            lambda: {},
+            3000,
+            400.0,
+            1200,
+            runtime="shard",
+            batch_window=4.0,
+            shard_plan=lambda: _social_plan(replicas=128, seed=3),
+            skew=0.8,
+        ),
+        Scenario(
+            "shard-512",
+            lambda: {},
+            2400,
+            400.0,
+            1200,
+            runtime="shard",
+            batch_window=4.0,
+            shard_plan=lambda: _social_plan(
+                replicas=512, cross=12, max_fanout=4, seed=3
+            ),
+            skew=0.8,
+        ),
     ]
 }
 
@@ -213,6 +264,12 @@ class BenchResult:
     latency_p50: Optional[float] = None
     latency_p95: Optional[float] = None
     latency_p99: Optional[float] = None
+    #: Shard rows only: timestamp wire bytes shipped per logical write,
+    #: and the same quantity measured on the monolithic share graph over
+    #: the identical logical register space.  Both are seeded and
+    #: deterministic, so the regression gate can bound them tightly.
+    metadata_bytes_per_op: Optional[float] = None
+    monolithic_bytes_per_op: Optional[float] = None
 
     def to_json(self) -> Dict[str, object]:
         doc: Dict[str, object] = {
@@ -230,6 +287,17 @@ class BenchResult:
             doc["latency_p50_ms"] = round(self.latency_p50 * 1e3, 3)
             doc["latency_p95_ms"] = round((self.latency_p95 or 0.0) * 1e3, 3)
             doc["latency_p99_ms"] = round((self.latency_p99 or 0.0) * 1e3, 3)
+        if self.metadata_bytes_per_op is not None:
+            doc["metadata_bytes_per_op"] = round(self.metadata_bytes_per_op, 1)
+        if self.monolithic_bytes_per_op is not None:
+            doc["monolithic_bytes_per_op"] = round(
+                self.monolithic_bytes_per_op, 1
+            )
+            doc["metadata_ratio"] = round(
+                self.monolithic_bytes_per_op
+                / max(self.metadata_bytes_per_op or 1.0, 1e-9),
+                1,
+            )
         return doc
 
 
@@ -393,6 +461,67 @@ def _run_tcp_once(
     return asyncio.run(drive())
 
 
+def _run_shard_once(
+    scenario: Scenario, writes: int, verify: bool
+) -> BenchResult:
+    """One sharded-runtime measurement of ``scenario``.
+
+    The workload is ``zipf_writes`` over the plan's *logical* register
+    space (who may write what), so ``ops_per_s`` counts logical client
+    writes -- the overlay's carrier writes are the runtime's own cost,
+    priced into the same wall time.  The sharded system always runs its
+    throughput configuration: vectorized kernels, neighbour-restricted
+    prewarm, and the scenario's flush window (there is no separate
+    ``batched`` column -- batching *is* the configuration the row
+    documents).  Verification runs the causal checker over the physical
+    history plus the final-store audit (including the logical
+    cross-register rule for the per-group aliases).
+    """
+    from repro.shard.system import ShardedSystem
+    from repro.workloads.operations import zipf_writes
+
+    plan = scenario.shard_plan() if scenario.shard_plan else None
+    if plan is None:
+        raise KeyError(f"scenario {scenario.name!r} has no shard_plan")
+    system = ShardedSystem(
+        plan, seed=7, batch_window=scenario.batch_window  # type: ignore[arg-type]
+    )
+    stream = zipf_writes(
+        plan.logical_graph(),  # type: ignore[attr-defined]
+        writes,
+        rate=scenario.rate,
+        skew=scenario.skew,
+        seed=13,
+    )
+    start = time.process_time()
+    run_workload(system, stream)
+    wall = max(time.process_time() - start, 1e-9)
+    if verify:
+        report = system.check()
+        if not report.ok:
+            raise AssertionError(
+                f"benchmark run violated causal consistency: {report}"
+            )
+        failures = system.audit_stores()
+        if failures:
+            raise AssertionError(
+                f"benchmark run failed the store audit: {failures[:3]}"
+            )
+    metrics = system.metrics()
+    return BenchResult(
+        name=scenario.name,
+        writes=writes,
+        replicas=len(system.graph),
+        wall_s=wall,
+        ops_per_s=writes / wall,
+        events_per_s=system.simulator.events_executed / wall,
+        messages=metrics.messages_sent,
+        pending_high_water=metrics.pending_high_water,
+        unacked_high_water=metrics.unacked_high_water,
+        metadata_bytes_per_op=metrics.metadata_bytes_sent / max(1, writes),
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     policy_factory: Optional[PolicyFactory] = None,
@@ -427,6 +556,11 @@ def run_scenario(
             if best is None or result.wall_s < best.wall_s:
                 best = result
             continue
+        if scenario.runtime == "shard":
+            result = _run_shard_once(scenario, writes, verify)
+            if best is None or result.wall_s < best.wall_s:
+                best = result
+            continue
         system = scenario.build_system(policy_factory, batched=batched)
         stream = uniform_writes(
             system.graph, writes, rate=scenario.rate, seed=13
@@ -456,6 +590,17 @@ def run_scenario(
         if best is None or result.wall_s < best.wall_s:
             best = result
     assert best is not None
+    if scenario.runtime == "shard" and scenario.shard_plan is not None:
+        from repro.shard.system import monolithic_metadata_bytes_per_op
+
+        # Measured once per scenario (not per repeat): bytes/op is
+        # deterministic, and a few hundred writes measure it stably.
+        best.monolithic_bytes_per_op = monolithic_metadata_bytes_per_op(
+            scenario.shard_plan(),  # type: ignore[arg-type]
+            min(writes, 240),
+            rate=scenario.rate,
+            skew=scenario.skew,
+        )
     return best
 
 
@@ -497,8 +642,11 @@ def run_bench(
     for name in wanted:
         scenario = SCENARIOS[name]
         # The TCP runtime has no legacy-policy variant to compare: the
-        # policy is not the bottleneck a socket round-trip prices.
-        compared = compare and scenario.runtime != "tcp"
+        # policy is not the bottleneck a socket round-trip prices.  The
+        # shard runtime has neither comparison: the legacy policy cannot
+        # even be wired at hundreds of replicas, and the row's own
+        # monolithic bytes/op column *is* its comparison.
+        compared = compare and scenario.runtime not in ("tcp", "shard")
         if compared:
             from repro.baselines.legacy import legacy_policy_factory
 
@@ -512,7 +660,10 @@ def run_bench(
         optimized[name] = after.to_json()
         if compared:
             speedup[name] = round(after.ops_per_s / before.ops_per_s, 2)
-        if batched:
+        # Shard rows already run batched + vectorized (that is the
+        # configuration they document); a second batched column would
+        # measure the same thing twice.
+        if batched and scenario.runtime != "shard":
             fast = run_scenario(
                 scenario, quick=quick, repeats=repeats, batched=True
             )
@@ -590,7 +741,14 @@ def check_regression(
                 continue
             got = float(now[name]["ops_per_s"])
             want = float(ref[name]["ops_per_s"])
-            noisy = "latency_p50_ms" in ref[name] or section == "batched"
+            # Shard rows join the widened class: their quick sizes spend
+            # a larger warmup fraction (lazy per-sender plan compilation
+            # across hundreds of replicas) than the committed full runs.
+            noisy = (
+                "latency_p50_ms" in ref[name]
+                or "metadata_bytes_per_op" in ref[name]
+                or section == "batched"
+            )
             row_tolerance = max(tolerance, 0.5) if noisy else tolerance
             floor = want * (1.0 - row_tolerance)
             verdict = "ok" if got >= floor else "REGRESSION"
@@ -617,6 +775,38 @@ def check_regression(
                     report.failures.append(
                         f"{name}{tag}: {metric} {got_hw} > ceiling {ceiling} "
                         f"(committed {want_hw})"
+                    )
+            if "metadata_bytes_per_op" in ref[name]:
+                # Byte counts are seeded and deterministic, so the
+                # ceiling is tight: 25% headroom covers benign codec or
+                # protocol changes, not a lost optimization.
+                got_md = float(now[name].get("metadata_bytes_per_op", 0.0))
+                want_md = float(ref[name]["metadata_bytes_per_op"])
+                md_ceiling = want_md * 1.25
+                if got_md > md_ceiling:
+                    report.lines.append(
+                        f"  {name}{tag}: metadata {got_md:.1f} B/op vs "
+                        f"committed {want_md:.1f} (ceiling {md_ceiling:.1f})"
+                        " -> METADATA REGRESSION"
+                    )
+                    report.failures.append(
+                        f"{name}{tag}: metadata_bytes_per_op {got_md:.1f} > "
+                        f"ceiling {md_ceiling:.1f} (committed {want_md:.1f})"
+                    )
+            if float(ref[name].get("metadata_ratio", 0.0)) >= 5.0:
+                # The headline sharding claim: once a row demonstrates a
+                # >= 5x metadata economy over the monolithic graph, it
+                # must keep demonstrating it.
+                got_ratio = float(now[name].get("metadata_ratio", 0.0))
+                if got_ratio < 5.0:
+                    report.lines.append(
+                        f"  {name}{tag}: metadata ratio {got_ratio:.1f}x "
+                        "< 5.0x -> METADATA RATIO REGRESSION"
+                    )
+                    report.failures.append(
+                        f"{name}{tag}: metadata_ratio {got_ratio:.1f} < 5.0 "
+                        f"(committed "
+                        f"{float(ref[name]['metadata_ratio']):.1f})"
                     )
     return report
 
@@ -658,6 +848,12 @@ def render(doc: Mapping[str, object]) -> str:
                 f" {batched[name]['ops_per_s']:>12.0f}"
                 f" {batched[name]['messages']:>8}"
                 f" {speedup_batched.get(name, 0.0):>5.2f}x"
+            )
+        if "metadata_bytes_per_op" in row:
+            line += (
+                f"  md {row['metadata_bytes_per_op']}B/op"
+                f" vs mono {row.get('monolithic_bytes_per_op', '-')}B/op"
+                f" ({row.get('metadata_ratio', '-')}x)"
             )
         lines.append(line)
     return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Sharding layer: multicast groups + tree overlays at planet scale.
+
+Section 5's "restricted communication" observation as a construction
+principle: partition the register space across multicast groups, route
+cross-group traffic over a tree overlay between group contacts, and
+every per-group timestamp graph -- and compiled ``EdgeIndex`` plan --
+stays small by construction.  See :mod:`repro.shard.plan` for why the
+per-group computation is exact, not an approximation.
+"""
+
+from repro.shard.plan import (
+    OVERLAY_PREFIX,
+    ShardPlan,
+    make_shard_plan,
+    social_shard_plan,
+)
+from repro.shard.system import (
+    ShardedSystem,
+    monolithic_metadata_bytes_per_op,
+    monolithic_system,
+)
+
+__all__ = [
+    "OVERLAY_PREFIX",
+    "ShardPlan",
+    "ShardedSystem",
+    "make_shard_plan",
+    "monolithic_metadata_bytes_per_op",
+    "monolithic_system",
+    "social_shard_plan",
+]
