@@ -31,6 +31,8 @@ from repro.core.engine import (
     ReplicaMetrics,
     Send,
     SendBatch,
+    SendStabilize,
+    StabilizeFrame,
     UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
@@ -97,10 +99,18 @@ class AioReplica:
                 self.system.history.record_apply(
                     self.replica_id, eff.uid, eff.time
                 )
+            elif eff.kind == "visible":
+                self.system.history.record_visible(
+                    self.replica_id, eff.uid, eff.time
+                )
             else:
                 self.system.history.record_issue(
                     self.replica_id, eff.uid, eff.register, eff.time
                 )
+        elif cls is SendStabilize:
+            # Stabilize frames bypass the batcher: the cut should advance
+            # promptly, and frames are tiny.
+            self.system.post(self.replica_id, eff.dst, eff.frame)
         else:  # pragma: no cover - no other effects are enabled
             raise ProtocolError(f"unexpected effect {eff!r}")
 
@@ -160,12 +170,28 @@ class AioReplica:
     async def write(self, register: RegisterName, value: Any) -> UpdateId:
         return self.core.local_write(register, value)
 
+    # -- global stabilization (repro.gst) --------------------------------
+    def stabilize(self) -> None:
+        """One stabilization round (no-op for non-stabilizing policies)."""
+        self.core.stabilize()
+
+    @property
+    def stabilizing(self) -> bool:
+        return self.core.visible_store is not None
+
+    @property
+    def unstable_count(self) -> int:
+        return self.core.unstable_count
+
     # -- update delivery -------------------------------------------------
     async def run(self) -> None:
         """Consume the inbox forever (cancelled by the system)."""
         while True:
             src, message = await self.inbox.get()
-            if isinstance(message, UpdateBatch):
+            if isinstance(message, StabilizeFrame):
+                self.core.receive_stabilize(src, message)
+                self.system.events_processed += 1
+            elif isinstance(message, UpdateBatch):
                 self.core.remote_batch(src, message.updates)
                 self.system.events_processed += len(message.updates)
             else:
@@ -341,6 +367,34 @@ class AioDSMSystem:
             except asyncio.TimeoutError:
                 continue
 
+    # -- global stabilization (repro.gst) --------------------------------
+    @property
+    def stabilizing(self) -> bool:
+        return any(r.stabilizing for r in self.replicas.values())
+
+    def stabilize_all(self) -> None:
+        for replica in self.replicas.values():
+            replica.stabilize()
+
+    async def settle_visibility(self, max_rounds: int = 0) -> int:
+        """Settle, then drive stabilization rounds until all updates are
+        visible (asyncio analogue of ``DSMSystem.settle_visibility``)."""
+        await self.settle()
+        if not self.stabilizing:
+            return 0
+        if max_rounds <= 0:
+            max_rounds = 3 * len(self.replicas) + 5
+        rounds = 0
+        while any(r.unstable_count for r in self.replicas.values()):
+            if rounds >= max_rounds:
+                raise ProtocolError(
+                    f"visibility did not settle in {max_rounds} rounds"
+                )
+            self.stabilize_all()
+            await self.settle()
+            rounds += 1
+        return rounds
+
     def metrics(self) -> AioSystemMetrics:
         """Aggregate the per-replica engine metrics for this run."""
         replicas = list(self.replicas.values())
@@ -360,9 +414,14 @@ class AioDSMSystem:
             events_processed=self.events_processed,
         )
 
-    def check(self, require_liveness: bool = True):
+    def check(self, require_liveness: bool = True, visibility=None):
         from repro.checker import check_history
 
+        if visibility is None:
+            visibility = self.stabilizing
         return check_history(
-            self.history, self.graph, require_liveness=require_liveness
+            self.history,
+            self.graph,
+            require_liveness=require_liveness,
+            visibility=visibility,
         )

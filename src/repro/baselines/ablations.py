@@ -27,6 +27,8 @@ from repro.types import ReplicaId
 class NoThirdPartyCheckPolicy(EdgeIndexedPolicy):
     """Predicate J without the third-party gating clause."""
 
+    policy_tag = "no-third-party"
+
     def ready(
         self, ts: Timestamp, sender: ReplicaId, sender_ts: Timestamp
     ) -> bool:
@@ -39,6 +41,8 @@ class NoThirdPartyCheckPolicy(EdgeIndexedPolicy):
 
 class LaxSenderEdgePolicy(EdgeIndexedPolicy):
     """Predicate J with ``>=`` on the sender edge (gaps allowed)."""
+
+    policy_tag = "lax-sender-edge"
 
     # Without the exact gap check any queued update can fire, so the
     # delivery engine must scan instead of seq-indexing sender queues.

@@ -83,6 +83,10 @@ class VectorClockPolicy:
     # (``T[sender] == tau[sender] + 1``), like the edge-indexed J.
     exact_sender_fifo = True
 
+    # Policy-layer identification (see repro.core.policy_registry).
+    policy_tag = "vc"
+    stabilizing = False
+
     def sender_seq(self, sender: ReplicaId, sender_ts: Timestamp):
         return sender_ts.get(sender)
 

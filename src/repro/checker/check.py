@@ -119,6 +119,7 @@ def check_history(
     require_liveness: bool = True,
     max_violations: int = 1000,
     epoch_graphs: Optional[List[Tuple[int, ShareGraph]]] = None,
+    visibility: bool = False,
 ) -> CheckResult:
     """Verify Definition 2 over a finished (or mid-flight) history.
 
@@ -132,6 +133,15 @@ def check_history(
         the happened-before relation.
     require_liveness:
         Liveness only holds at quiescence; disable mid-run.
+    visibility:
+        Check runs under a *stabilizing* policy (GST).  Such policies
+        apply in per-channel FIFO order -- which legitimately violates
+        Definition 2 at apply events -- and restore causal safety at the
+        visibility cut.  With ``visibility=True`` safety is verified at
+        ``"visible"`` events against per-replica *visible* masks (apply
+        and issue events still feed the session-closure bookkeeping but
+        are not themselves judged), and liveness requires every update to
+        become visible (not merely applied) at every storing replica.
     max_violations:
         Stop collecting after this many findings (the run is already
         broken; keep reports readable).
@@ -185,6 +195,8 @@ def check_history(
 
     applied: Dict[ReplicaId, int] = {r: 0 for r in graph.replicas}
     closure: Dict[ReplicaId, int] = {r: 0 for r in graph.replicas}
+    visible: Dict[ReplicaId, int] = {r: 0 for r in graph.replicas}
+    visible_closure: Dict[ReplicaId, int] = {r: 0 for r in graph.replicas}
     client_mask: Dict[object, int] = {}
     next_boundary = 0
     for event in history.events:
@@ -195,6 +207,33 @@ def check_history(
             relevant = boundaries[next_boundary][1]
             next_boundary += 1
         rep = event.replica
+        if event.kind == "visible":
+            # Only meaningful under a stabilizing policy; a non-visibility
+            # check over a history that happens to carry visible events
+            # (mixed-policy runs) ignores them -- applies already passed.
+            if not visibility:
+                continue
+            uid = event.uid
+            missing_mask = (
+                history.past_mask_of(uid)
+                & relevant.get(rep, 0)
+                & ~visible.get(rep, 0)
+            )
+            if missing_mask and len(result.safety) < max_violations:
+                for missing_uid in _mask_updates(history, missing_mask):
+                    result.safety.append(
+                        SafetyViolation(rep, uid, missing_uid, event.time)
+                    )
+                    if len(result.safety) >= max_violations:
+                        break
+            visible[rep] = visible.get(rep, 0) | history.bit_of(uid)
+            visible_closure[rep] = (
+                visible_closure.get(rep, 0)
+                | history.bit_of(uid)
+                | history.past_mask_of(uid)
+            )
+            result.applies_checked += 1
+            continue
         if event.kind == "access":
             # Client-server session safety: the client's causal past,
             # restricted to registers of X_rep, must be applied at rep.
@@ -202,10 +241,18 @@ def check_history(
             # is logged when the client accepts the travelled response) is
             # judged against the replica state that produced the response,
             # not the replica's state at acceptance time.
+            # Under a stabilizing policy reads serve the *visible* store,
+            # so session guarantees are judged (and the client's past
+            # grown) against the visible state.  Serve-time tokens still
+            # snapshot applied state -- lossy-channel client-server runs
+            # use non-stabilizing policies.
             mask = client_mask.get(event.client, 0)
             if event.token is not None:
                 applied_at_serve = event.token.applied
                 growth = event.token.closure
+            elif visibility:
+                applied_at_serve = visible.get(rep, 0)
+                growth = visible_closure.get(rep, 0)
             else:
                 applied_at_serve = applied.get(rep, 0)
                 growth = closure.get(rep, 0)
@@ -222,27 +269,32 @@ def check_history(
             client_mask[event.client] = mask | growth
             continue
         uid = event.uid
-        missing_mask = (
-            history.past_mask_of(uid) & relevant.get(rep, 0) & ~applied.get(rep, 0)
-        )
-        if missing_mask and len(result.safety) < max_violations:
-            for missing_uid in _mask_updates(history, missing_mask):
-                result.safety.append(
-                    SafetyViolation(rep, uid, missing_uid, event.time)
-                )
-                if len(result.safety) >= max_violations:
-                    break
+        if not visibility:
+            missing_mask = (
+                history.past_mask_of(uid)
+                & relevant.get(rep, 0)
+                & ~applied.get(rep, 0)
+            )
+            if missing_mask and len(result.safety) < max_violations:
+                for missing_uid in _mask_updates(history, missing_mask):
+                    result.safety.append(
+                        SafetyViolation(rep, uid, missing_uid, event.time)
+                    )
+                    if len(result.safety) >= max_violations:
+                        break
+            result.applies_checked += 1
         applied[rep] = applied.get(rep, 0) | history.bit_of(uid)
         closure[rep] = (
             closure.get(rep, 0) | history.bit_of(uid) | history.past_mask_of(uid)
         )
-        result.applies_checked += 1
 
     if require_liveness:
         for uid in history.all_updates():
             record = history.updates[uid]
             expected = graph.replicas_storing(record.register)
-            reached = history.applied_at(uid)
+            reached = (
+                history.visible_at(uid) if visibility else history.applied_at(uid)
+            )
             for r in sorted(
                 expected - reached, key=lambda v: (str(type(v)), repr(v))
             ):

@@ -241,12 +241,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import bench
 
     names = args.scenarios.split(",") if args.scenarios else None
+    policies = args.policy.split(",") if args.policy else None
     doc = bench.run_bench(
         names=names,
         quick=args.quick,
         compare=args.compare,
         repeats=args.repeats,
         batched=args.batched,
+        policies=policies,
     )
     print(bench.render(doc))
     if args.output:
@@ -631,6 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run with vectorized kernels + flush-window batching on",
     )
+    p_bench.add_argument(
+        "--policy",
+        default=None,
+        help="comma-separated timestamp policies (edge,gst,adaptive): run "
+        "the per-policy comparison matrix (metadata bytes/op vs "
+        "visibility lag) for just those policies",
+    )
     p_bench.add_argument("--repeats", type=int, default=3, help="best-of-N")
     p_bench.add_argument(
         "--output", default=None, help="write JSON document here"
@@ -738,7 +747,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_soak.add_argument(
         "--scenario",
-        choices=("steady", "crash-storm", "corrupt-wal", "overload"),
+        choices=(
+            "steady",
+            "crash-storm",
+            "corrupt-wal",
+            "overload",
+            "shard-storm",
+        ),
         default="steady",
     )
     p_soak.add_argument("--workdir", required=True)

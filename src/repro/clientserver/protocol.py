@@ -53,6 +53,8 @@ from repro.core.engine import (
     ReplicaMetrics,
     Send,
     SendBatch,
+    SendStabilize,
+    StabilizeFrame,
     UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
@@ -248,6 +250,8 @@ class CSReplica:
             assert self.history is not None
             if eff.kind == "apply":
                 self.history.record_apply(self.replica_id, eff.uid, eff.time)
+            elif eff.kind == "visible":
+                self.history.record_visible(self.replica_id, eff.uid, eff.time)
             else:
                 self.history.record_issue(
                     self.replica_id,
@@ -256,6 +260,13 @@ class CSReplica:
                     eff.time,
                     client=eff.client,
                 )
+        elif cls is SendStabilize:
+            self.network.send(
+                self.replica_id,
+                eff.dst,
+                eff.frame,
+                metadata_counters=len(eff.frame.entries) + 2,
+            )
         else:  # pragma: no cover - no other effects are enabled
             raise ProtocolError(f"unexpected effect {eff!r}")
 
@@ -304,6 +315,19 @@ class CSReplica:
     def queue_stats(self) -> QueueStats:
         return self._core.queue_stats()
 
+    # -- global stabilization (repro.gst plumbing) -----------------------
+    def stabilize(self) -> None:
+        """One stabilization round (no-op under non-stabilizing policies)."""
+        self._core.stabilize()
+
+    @property
+    def stabilizing(self) -> bool:
+        return self._core.visible_store is not None
+
+    @property
+    def unstable_count(self) -> int:
+        return self._core.unstable_count
+
     # -- session predicate (Appendix E.5) --------------------------------
     def _session_ready(self, mu: Timestamp) -> bool:
         """``J1 = J2``: the replica has caught up with the client."""
@@ -320,6 +344,8 @@ class CSReplica:
             self._core.remote_update(src, message)
         elif isinstance(message, UpdateBatch):
             self._core.remote_batch(src, message.updates)
+        elif isinstance(message, StabilizeFrame):
+            self._core.receive_stabilize(src, message)
         elif isinstance(message, (ReadRequest, WriteRequest)):
             self.buffered_requests.append((src, message))
         else:  # pragma: no cover - wiring guard
@@ -763,12 +789,31 @@ class ClientServerSystem:
         """Liveness clause 2 of Definition 26: every request returned."""
         return all(c.done for c in self.clients.values())
 
-    def check(self, require_liveness: bool = True):
+    # -- global stabilization (repro.gst plumbing) -----------------------
+    @property
+    def stabilizing(self) -> bool:
+        return any(r.stabilizing for r in self.replicas.values())
+
+    def stabilize_all(self) -> None:
+        """One cluster-wide stabilization round (frames deliver on run)."""
+        for replica in self.replicas.values():
+            replica.stabilize()
+
+    def schedule_stabilize(self, time: float) -> None:
+        """Schedule a cluster-wide stabilization round at ``time``."""
+        self.simulator.schedule_at(time, self.stabilize_all)
+
+    def check(self, require_liveness: bool = True, visibility=None):
         """Verify Definition 26 (including session safety)."""
         from repro.checker import check_history
 
+        if visibility is None:
+            visibility = self.stabilizing
         return check_history(
-            self.history, self.graph, require_liveness=require_liveness
+            self.history,
+            self.graph,
+            require_liveness=require_liveness,
+            visibility=visibility,
         )
 
     def metadata_counters(self) -> Dict[ReplicaId, int]:

@@ -74,7 +74,7 @@ class HistoryEvent:
     judges the access against the state that actually produced it.
     """
 
-    kind: str  # "issue" | "apply" | "access"
+    kind: str  # "issue" | "apply" | "visible" | "access"
     replica: ReplicaId
     uid: Optional[UpdateId]
     time: float
@@ -95,6 +95,7 @@ class History:
         self._applied_mask: Dict[ReplicaId, int] = {}
         self._applied_bits: Dict[ReplicaId, int] = {}
         self._applied_at: Dict[UpdateId, Set[ReplicaId]] = {}
+        self._visible_at: Dict[UpdateId, Set[ReplicaId]] = {}
         self._client_mask: Dict[object, int] = {}
 
     # ------------------------------------------------------------------
@@ -192,6 +193,31 @@ class History:
         self._append(HistoryEvent("apply", replica, uid, time, len(self.events)))
         self._mark_applied(replica, uid)
 
+    def record_visible(
+        self, replica: ReplicaId, uid: UpdateId, time: float
+    ) -> None:
+        """Record ``uid`` becoming *readable* at *replica*.
+
+        Stabilizing policies (GST) split apply from visibility: an update
+        is applied the moment it arrives (per-channel FIFO) but serves
+        reads only once the global-stabilization cut passes its clock.
+        Happened-before is unaffected -- Definition 1 is about applies --
+        but the checker's visibility mode verifies Definition 2 safety at
+        these events instead of the applies.
+        """
+        if uid not in self.updates:
+            raise ProtocolError(f"update {uid} visible before being issued")
+        if replica not in self._applied_at.get(uid, ()):
+            raise ProtocolError(
+                f"update {uid} visible at {replica!r} before being applied"
+            )
+        if replica in self._visible_at.get(uid, ()):  # pragma: no cover - guard
+            raise ProtocolError(f"update {uid} visible twice at {replica!r}")
+        self._append(
+            HistoryEvent("visible", replica, uid, time, len(self.events))
+        )
+        self._visible_at.setdefault(uid, set()).add(replica)
+
     def _append(self, event: HistoryEvent) -> None:
         self.events.append(event)
 
@@ -247,6 +273,10 @@ class History:
     def applied_at(self, uid: UpdateId) -> FrozenSet[ReplicaId]:
         """Replicas that have applied ``uid`` so far (issuer included)."""
         return frozenset(self._applied_at.get(uid, ()))
+
+    def visible_at(self, uid: UpdateId) -> FrozenSet[ReplicaId]:
+        """Replicas at which ``uid`` has become readable (GST cut)."""
+        return frozenset(self._visible_at.get(uid, ()))
 
     def all_updates(self) -> Tuple[UpdateId, ...]:
         """Every issued update, in issue order."""

@@ -27,16 +27,20 @@ from repro.core.engine.effects import (
     RollbackChannels,
     Send,
     SendBatch,
+    SendStabilize,
 )
 from repro.core.engine.events import (
     Event,
     LocalWrite,
     RemoteBatch,
+    RemoteStabilize,
     RemoteUpdate,
+    StabilizeTick,
     SyncInstall,
     Tick,
 )
 from repro.core.engine.metrics import QueueStats, ReplicaMetrics
+from repro.core.engine.stabilization import StabilizationState, StabilizeFrame
 
 __all__ = [
     "Applied",
@@ -50,11 +54,16 @@ __all__ = [
     "QueueStats",
     "RecordHistory",
     "RemoteBatch",
+    "RemoteStabilize",
     "RemoteUpdate",
     "ReplicaMetrics",
     "RollbackChannels",
     "Send",
     "SendBatch",
+    "SendStabilize",
+    "StabilizationState",
+    "StabilizeFrame",
+    "StabilizeTick",
     "SyncInstall",
     "Tick",
 ]

@@ -54,21 +54,25 @@ from repro.core.engine.effects import (
     RecordHistory,
     RollbackChannels,
     Send,
+    SendStabilize,
 )
 from repro.core.engine.events import (
     Event,
     LocalWrite,
     RemoteBatch,
+    RemoteStabilize,
     RemoteUpdate,
+    StabilizeTick,
     SyncInstall,
     Tick,
 )
 from repro.core.engine.metrics import QueueStats, ReplicaMetrics
+from repro.core.engine.stabilization import StabilizationState, StabilizeFrame
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import Timestamp, TimestampPolicy
 from repro.errors import ProtocolError, UnknownRegisterError
 from repro.types import Edge, RegisterName, ReplicaId, Update, UpdateId
-from repro.wire.codec import timestamp_wire_bytes
+from repro.wire.codec import stabilize_frame_wire_bytes, timestamp_wire_bytes
 
 # One buffered update: (update, arrival time, sender-edge sequence).
 # Queues are dicts keyed by global arrival counter; insertion order is
@@ -103,6 +107,16 @@ _BlockedMany = Callable[
 ]
 _SenderSeq = Callable[[ReplicaId, Timestamp], Optional[int]]
 _NextSeq = Callable[[Timestamp, ReplicaId], Optional[int]]
+#: Stabilizing-policy hooks (see the TimestampPolicy extended surface).
+_UpdateTimestamp = Callable[[Timestamp, ReplicaId], Timestamp]
+_OwnClock = Callable[[Timestamp], int]
+_StabClock = Callable[[ReplicaId, Timestamp], int]
+_MergeClock = Callable[[Timestamp, int], Timestamp]
+#: One applied-but-unstable log entry:
+#: (clock, apply order, uid, register, value, metadata_only, applied at).
+_UnstableEntry = Tuple[
+    int, int, UpdateId, RegisterName, Any, bool, float
+]
 #: Runtime-specific ``advance`` override (the client-server runtime
 #: floors counters at the requesting client's timestamp).
 AdvanceFn = Callable[[Timestamp, RegisterName], Timestamp]
@@ -218,6 +232,45 @@ class ProtocolCore:
             and self._sender_seq is not None
             and self._next_seq is not None
         )
+        # Visibility-cut (GST) state: when the policy stabilizes, reads
+        # serve ``visible_store`` -- the applied store restricted to the
+        # global-stable prefix -- while applies land in ``store``
+        # immediately and queue in the unstable log until the cut passes
+        # their clock.
+        self._stabilizing = bool(getattr(policy, "stabilizing", False))
+        self.visible_store: Optional[Dict[RegisterName, Any]] = None
+        self.stabilization: Optional[StabilizationState] = None
+        self._unstable: List[_UnstableEntry] = []
+        self._unstable_order = 0
+        self.visible_cut = 0
+        if self._stabilizing:
+            self._update_timestamp: _UpdateTimestamp = policy.update_timestamp
+            self._own_clock: _OwnClock = policy.own_clock
+            self._stab_clock: _StabClock = policy.stabilization_clock
+            self._merge_clock: _MergeClock = policy.merge_clock
+            self._sent_count: Callable[[Timestamp, ReplicaId], int] = (
+                policy.sent_count
+            )
+            self.visible_store = dict(self.store)
+            self._stab_neighbors: Tuple[ReplicaId, ...] = tuple(
+                sorted(graph.neighbors(replica_id), key=str)
+            )
+            # The gossip table spans this replica's connected component
+            # only: a disconnected component shares no registers with us,
+            # exchanges no frames, and would pin the cut at zero forever.
+            component: Set[ReplicaId] = {replica_id}
+            frontier: List[ReplicaId] = [replica_id]
+            while frontier:
+                nxt: List[ReplicaId] = []
+                for r in frontier:
+                    for k in graph.neighbors(r):
+                        if k not in component:
+                            component.add(k)
+                            nxt.append(k)
+                frontier = nxt
+            self.stabilization = StabilizationState(
+                replica_id, self._stab_neighbors, component
+            )
         self.metrics = ReplicaMetrics()
         self.seq = initial_seq
         self._timestamps_used: Optional[Set[Timestamp]] = (
@@ -270,15 +323,29 @@ class ProtocolCore:
         if cls is Tick:
             self.tick()
             return None
+        if cls is StabilizeTick:
+            self.stabilize()
+            return None
+        if cls is RemoteStabilize:
+            assert isinstance(event, RemoteStabilize)
+            self.receive_stabilize(event.src, event.frame)
+            return None
         raise ProtocolError(f"unexpected event {event!r}")
 
     # ------------------------------------------------------------------
     # Client operations (prototype steps 1-2)
     # ------------------------------------------------------------------
     def read(self, register: RegisterName) -> Any:
-        """Step 1: return the local copy of ``register``."""
+        """Step 1: return the local copy of ``register``.
+
+        Under a stabilizing policy this serves the *visible* store (the
+        global-stable prefix); applied-but-unstable values are readable
+        only through :attr:`store` directly (debugging, store audits).
+        """
         if register not in self.store:
             raise UnknownRegisterError(register, self.replica_id)
+        if self.visible_store is not None:
+            return self.visible_store[register]
         return self.store[register]
 
     def local_write(
@@ -326,6 +393,49 @@ class ProtocolCore:
                 RecordHistory("issue", uid, register, self._clock(), client)
             )
         ts = self.timestamp
+        if self._stabilizing:
+            # Own writes join the unstable log (reads serve the cut, so
+            # even local writes wait for global stability) and each
+            # recipient gets the compact per-channel wire timestamp --
+            # the GST metadata economy -- instead of the full local one.
+            order = self._unstable_order
+            self._unstable_order = order + 1
+            self._unstable.append(
+                (
+                    self._own_clock(ts),
+                    order,
+                    uid,
+                    register,
+                    value,
+                    False,
+                    self._clock(),
+                )
+            )
+            emit = self._emit
+            for k in self.graph.recipients(self.replica_id, register):
+                declared = self._dummy_map.get(k)
+                meta_only = (
+                    declared is not None
+                    and register in declared
+                    and register in self.graph.registers_at(k)
+                )
+                ts_k = self._update_timestamp(ts, k)
+                emit(
+                    Send(
+                        k,
+                        Update(
+                            uid=uid,
+                            register=register,
+                            value=None if meta_only else value,
+                            timestamp=ts_k,
+                            metadata_only=meta_only,
+                            payload=payload,
+                        ),
+                        len(ts_k),
+                        timestamp_wire_bytes(ts_k) if self.size_wire else 0,
+                    )
+                )
+            return uid
         counters = len(ts)
         # timestamp_wire_bytes memoizes on the (immutable) timestamp, so a
         # fan-out of N recipients sizes the encoding once, not N times.
@@ -450,6 +560,7 @@ class ProtocolCore:
             and self._merge_run is not None
             and not self.paused
             and self._timestamps_used is None
+            and not self._stabilizing
         ):
             count = len(updates)
             # The generic path's sync pre-checks see member j at gap j
@@ -511,6 +622,133 @@ class ProtocolCore:
         """Re-run the readiness drain (unless paused)."""
         if not self.paused:
             self._drain()
+
+    # ------------------------------------------------------------------
+    # Global stabilization (visibility-cut policies, repro.gst)
+    # ------------------------------------------------------------------
+    def stabilize(self) -> None:
+        """One stabilization round: refresh the LST, advance the cut,
+        broadcast per-destination stabilize frames to every share-graph
+        neighbour.  A no-op for non-stabilizing policies."""
+        if not self._stabilizing or self.paused:
+            return
+        st = self.stabilization
+        assert st is not None
+        clock = self._own_clock(self.timestamp)
+        st.refresh(clock)
+        self._advance_cut()
+        entries = st.table_entries()
+        ts = self.timestamp
+        emit = self._emit
+        for k in self._stab_neighbors:
+            # ``sent`` personalizes the frame: the receiver trusts
+            # ``clock`` as a heard bound only once its channel from us
+            # has drained up to that count (transports may reorder).
+            frame = StabilizeFrame(
+                self.replica_id, clock, entries, self._sent_count(ts, k)
+            )
+            wire = stabilize_frame_wire_bytes(frame) if self.size_wire else 0
+            emit(SendStabilize(k, frame, wire))
+
+    def stabilize_frame_for(self, dst: ReplicaId) -> Optional[StabilizeFrame]:
+        """Build (without emitting) the personalized stabilize frame for
+        ``dst``.
+
+        Transports that already exchange periodic control traffic can
+        piggyback stabilization on it instead of scheduling
+        :meth:`stabilize` rounds -- the TCP runtime attaches these frames
+        to its heartbeats.  Returns ``None`` for non-stabilizing
+        policies, paused cores, and non-neighbours.
+        """
+        if not self._stabilizing or self.paused:
+            return None
+        if dst not in self._stab_neighbors:
+            return None
+        st = self.stabilization
+        assert st is not None
+        clock = self._own_clock(self.timestamp)
+        st.refresh(clock)
+        self._advance_cut()
+        return StabilizeFrame(
+            self.replica_id,
+            clock,
+            st.table_entries(),
+            self._sent_count(self.timestamp, dst),
+        )
+
+    def receive_stabilize(self, src: ReplicaId, frame: StabilizeFrame) -> None:
+        """Fold a neighbour's stabilize frame in and advance the cut."""
+        if not self._stabilizing or self.paused:
+            return
+        st = self.stabilization
+        assert st is not None
+        st.merge_table(frame.entries)
+        # The frame's clock is a safe heard bound only if every update
+        # the sender had dispatched to us by frame time has applied --
+        # otherwise a reordered in-flight update below that clock could
+        # still arrive.
+        applied_from_src: Optional[int] = None
+        if self._next_seq is not None:
+            want = self._next_seq(self.timestamp, src)
+            if want is not None:
+                applied_from_src = want - 1
+        if applied_from_src is not None and applied_from_src >= frame.sent:
+            st.note_heard(src, frame.clock)
+        # Lamport receive rule (max, no bump): idle replicas' clocks
+        # catch up so every LST -- and therefore the cut -- converges.
+        before = self.timestamp
+        after = self._merge_clock(before, frame.clock)
+        if after is not before:
+            self.timestamp = after
+            self._note_timestamp()
+        st.refresh(self._own_clock(self.timestamp))
+        self._advance_cut()
+
+    def _advance_cut(self) -> None:
+        """Make every unstable entry at or below the cut visible.
+
+        Store values fold in *apply order* (the visible store is the
+        applied store restricted to the causally-closed stable prefix);
+        history records are emitted in ``(clock, apply order)`` so each
+        update's causal dependencies -- which carry strictly smaller
+        clocks -- become visible before it within the same cut.
+        """
+        st = self.stabilization
+        assert st is not None
+        cut = st.cut()
+        if cut <= self.visible_cut:
+            return
+        self.visible_cut = cut
+        if not self._unstable:
+            return
+        ready = [e for e in self._unstable if e[0] <= cut]
+        if not ready:
+            return
+        self._unstable = [e for e in self._unstable if e[0] > cut]
+        store = self.visible_store
+        assert store is not None
+        merge_value = self._value_merge
+        for _, _, _, register, value, metadata_only, _ in ready:
+            if metadata_only or register not in store:
+                continue
+            if merge_value is not None:
+                store[register] = merge_value(store[register], value)
+            else:
+                store[register] = value
+        now = self._clock()
+        metrics = self.metrics
+        record = self.record_history
+        emit = self._emit
+        ready.sort(key=lambda e: (e[0], e[1]))
+        for _, _, uid, register, _, _, applied_at in ready:
+            metrics.record_visible_lag(now - applied_at)
+            if record:
+                emit(RecordHistory("visible", uid, register, now))
+
+    @property
+    def unstable_count(self) -> int:
+        """Applied updates still awaiting the visibility cut."""
+        return len(self._unstable)
 
     def _queues_blocked_under(self, final_ts: Timestamp) -> bool:
         """Prove no buffered update can become ready below ``final_ts``.
@@ -708,6 +946,25 @@ class ProtocolCore:
         now = self._clock()
         self.metrics.applied_remote += 1
         self.metrics.record_apply_delay(now - arrived)
+        if self._stabilizing:
+            assert self.stabilization is not None
+            clock = self._stab_clock(src, update.timestamp)
+            # Per-channel FIFO applies + strictly increasing issuer
+            # clocks make the applied clock a safe ``heard`` bound.
+            self.stabilization.note_heard(src, clock)
+            order = self._unstable_order
+            self._unstable_order = order + 1
+            self._unstable.append(
+                (
+                    clock,
+                    order,
+                    update.uid,
+                    register,
+                    update.value,
+                    update.metadata_only,
+                    now,
+                )
+            )
         if self.record_history:
             self._emit(RecordHistory("apply", update.uid, register, now))
         if self.emit_confirm:

@@ -60,7 +60,8 @@ class SendBatch:
 class RecordHistory:
     """Append one event to the global issue/apply log.
 
-    ``kind`` is ``"issue"`` or ``"apply"``; ``client`` attributes a
+    ``kind`` is ``"issue"``, ``"apply"``, or ``"visible"`` (a stabilizing
+    policy's visibility cut passed this update); ``client`` attributes a
     client-server issue to its session.
     """
 
@@ -69,6 +70,20 @@ class RecordHistory:
     register: RegisterName
     time: float
     client: Optional[object] = None
+
+
+@dataclass(slots=True)
+class SendStabilize:
+    """Transmit a stabilization frame to share-graph neighbour ``dst``.
+
+    Emitted only by stabilizing (GST) policies during a
+    :class:`~repro.core.engine.events.StabilizeTick` round.
+    ``wire_bytes`` is the encoded frame size for transport accounting.
+    """
+
+    dst: ReplicaId
+    frame: Any
+    wire_bytes: int
 
 
 @dataclass(slots=True)
@@ -110,6 +125,7 @@ class RollbackChannels:
 Effect = Union[
     Send,
     SendBatch,
+    SendStabilize,
     RecordHistory,
     ConfirmApplied,
     Applied,

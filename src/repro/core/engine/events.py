@@ -73,4 +73,27 @@ class Tick:
     """Re-run the readiness drain (no other state change)."""
 
 
-Event = Union[LocalWrite, RemoteUpdate, RemoteBatch, SyncInstall, Tick]
+@dataclass(frozen=True)
+class StabilizeTick:
+    """Run one stabilization round (GST policies): refresh the local
+    stable time, advance the visibility cut, broadcast stabilize frames
+    to share-graph neighbours.  A no-op for non-stabilizing policies."""
+
+
+@dataclass(frozen=True)
+class RemoteStabilize:
+    """A neighbour's stabilize frame delivered by the transport."""
+
+    src: ReplicaId
+    frame: Any
+
+
+Event = Union[
+    LocalWrite,
+    RemoteUpdate,
+    RemoteBatch,
+    SyncInstall,
+    Tick,
+    StabilizeTick,
+    RemoteStabilize,
+]

@@ -26,6 +26,11 @@ class ReplicaMetrics:
     syncs: int = 0
     updates_shed: int = 0
     stale_discarded: int = 0
+    # Stabilizing (GST) policies only: updates that crossed the
+    # visibility cut, and how long after apply they did (visibility lag).
+    visible_count: int = 0
+    visible_lag_total: float = 0.0
+    visible_lag_max: float = 0.0
 
     @property
     def mean_apply_delay(self) -> float:
@@ -38,6 +43,19 @@ class ReplicaMetrics:
         self.apply_delay_total += delay
         if delay > self.apply_delay_max:
             self.apply_delay_max = delay
+
+    @property
+    def mean_visible_lag(self) -> float:
+        """Mean apply-to-visible delay under a stabilizing policy."""
+        if not self.visible_count:
+            return 0.0
+        return self.visible_lag_total / self.visible_count
+
+    def record_visible_lag(self, lag: float) -> None:
+        self.visible_count += 1
+        self.visible_lag_total += lag
+        if lag > self.visible_lag_max:
+            self.visible_lag_max = lag
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,104 @@
+"""A registry of every timestamp policy in the tree.
+
+The policy layer's single source of truth: each entry names a policy
+tag, how to build it for a ``(graph, replica)`` pair, and the contract
+caveats a harness must respect (full replication only, deliberately
+unsafe ablation).  The conformance test suite parametrizes over
+:func:`registered_policies` so any policy added here is automatically
+held to the extended protocol surface documented on
+:class:`repro.core.timestamp.TimestampPolicy`.
+
+Population is lazy (policies import the registry's dependencies, not
+vice versa) so importing :mod:`repro.core` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp import TimestampPolicy
+from repro.types import ReplicaId
+
+PolicyFactory = Callable[[ShareGraph, ReplicaId], TimestampPolicy]
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy and its contract caveats."""
+
+    tag: str
+    factory: PolicyFactory
+    #: Vector-clock-style policies only make sense when every replica
+    #: stores every register.
+    requires_full_replication: bool = False
+    #: Ablation policies violate causal delivery by design (Theorem 8
+    #: necessity experiments); harnesses must not pick them.
+    safe: bool = True
+    #: Stabilizing policies defer visibility to the GST cut.
+    stabilizing: bool = False
+
+
+_REGISTRY: Dict[str, PolicyEntry] = {}
+
+
+def register_policy(entry: PolicyEntry) -> None:
+    """Idempotently register (or replace) a policy entry."""
+    _REGISTRY[entry.tag] = entry
+
+
+def _populate() -> None:
+    if _REGISTRY:
+        return
+    from repro.baselines.ablations import (
+        LaxSenderEdgePolicy,
+        NoThirdPartyCheckPolicy,
+    )
+    from repro.baselines.full_replication import VectorClockPolicy
+    from repro.core.timestamp import EdgeIndexedPolicy
+    from repro.gst.policy import GstPolicy
+
+    register_policy(
+        PolicyEntry("edge", lambda g, r: EdgeIndexedPolicy(g, r))
+    )
+    register_policy(
+        PolicyEntry(
+            "gst", lambda g, r: GstPolicy(g, r), stabilizing=True
+        )
+    )
+    register_policy(
+        PolicyEntry(
+            "vc",
+            lambda g, r: VectorClockPolicy(g, r),
+            requires_full_replication=True,
+        )
+    )
+    register_policy(
+        PolicyEntry(
+            "no-third-party",
+            lambda g, r: NoThirdPartyCheckPolicy(g, r),
+            safe=False,
+        )
+    )
+    register_policy(
+        PolicyEntry(
+            "lax-sender-edge",
+            lambda g, r: LaxSenderEdgePolicy(g, r),
+            safe=False,
+        )
+    )
+
+
+def registered_policies() -> Tuple[PolicyEntry, ...]:
+    """Every registered policy, in a deterministic order."""
+    _populate()
+    return tuple(
+        _REGISTRY[tag] for tag in sorted(_REGISTRY)
+    )
+
+
+def policy_entry(tag: str) -> PolicyEntry:
+    """Look one policy up by tag (:class:`KeyError` when unknown)."""
+    _populate()
+    return _REGISTRY[tag]

@@ -55,6 +55,8 @@ from repro.core.engine import (
     RollbackChannels,
     Send,
     SendBatch,
+    SendStabilize,
+    StabilizeFrame,
     UpdateBatch,
 )
 from repro.core.share_graph import ShareGraph
@@ -204,6 +206,8 @@ class Replica:
             # Only emitted when a history is attached (record_history).
             if eff.kind == "apply":
                 self.history.record_apply(self.replica_id, eff.uid, eff.time)
+            elif eff.kind == "visible":
+                self.history.record_visible(self.replica_id, eff.uid, eff.time)
             else:
                 self.history.record_issue(
                     self.replica_id,
@@ -212,6 +216,16 @@ class Replica:
                     eff.time,
                     client=eff.client,
                 )
+        elif cls is SendStabilize:
+            # Stabilize frames ride the same transport as updates but
+            # never batch: the cut should advance promptly.
+            self.network.send(
+                self.replica_id,
+                eff.dst,
+                eff.frame,
+                metadata_counters=len(eff.frame.entries) + 2,
+                wire_bytes=eff.wire_bytes,
+            )
         elif cls is ConfirmApplied:
             # Only emitted when the transport has the hook (emit_confirm).
             self._confirm_applied(self.replica_id, eff.src, eff.update)
@@ -279,10 +293,43 @@ class Replica:
         self._core.set_dummy_map(mapping)
 
     # ------------------------------------------------------------------
+    # Global stabilization (visibility-cut policies, repro.gst)
+    # ------------------------------------------------------------------
+    def stabilize(self) -> None:
+        """One stabilization round: gossip LSTs, advance the visibility cut.
+
+        A no-op under non-stabilizing policies and while crashed (a down
+        node gossips nothing).
+        """
+        if self._crashed:
+            return
+        self._core.stabilize()
+
+    @property
+    def stabilizing(self) -> bool:
+        """Whether this replica runs a visibility-cut (GST) policy."""
+        return self._core.visible_store is not None
+
+    @property
+    def unstable_count(self) -> int:
+        """Applied updates still awaiting the visibility cut."""
+        return self._core.unstable_count
+
+    @property
+    def visible_cut(self) -> int:
+        """The stabilization cut this replica's reads are served at."""
+        return self._core.visible_cut
+
+    # ------------------------------------------------------------------
     # Update reception (prototype steps 3-4)
     # ------------------------------------------------------------------
     def on_message(self, src: ReplicaId, update: Update) -> None:
         """Step 3: buffer the update, then step 4: drain what's ready."""
+        if isinstance(update, StabilizeFrame):
+            if self._crashed:
+                return
+            self._core.receive_stabilize(src, update)
+            return
         if isinstance(update, UpdateBatch):
             if self._crashed:
                 return

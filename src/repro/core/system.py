@@ -37,7 +37,7 @@ from repro.core.replica import ApplyHook, Replica
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
 from repro.core.timestamp_graph import all_timestamp_graphs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.network.delays import DelayModel
 from repro.network.faults import FaultPlan, ReliableNetwork
 from repro.network.transport import Network
@@ -91,6 +91,10 @@ class SystemMetrics:
     retransmit_log_compacted: int = 0
     retransmit_log_compacted_bytes: int = 0
     retransmit_log_truncated: int = 0
+    # Visibility-cut (GST) counters; zero under non-stabilizing policies.
+    visible_count: int = 0
+    mean_visible_lag: float = 0.0
+    max_visible_lag: float = 0.0
 
     @property
     def total_counters(self) -> int:
@@ -109,6 +113,10 @@ def aggregate_metrics(
     """
     delay_total = sum(r.metrics.apply_delay_total for r in replicas.values())
     delay_count = sum(r.metrics.applied_remote for r in replicas.values())
+    visible_count = sum(r.metrics.visible_count for r in replicas.values())
+    visible_lag_total = sum(
+        r.metrics.visible_lag_total for r in replicas.values()
+    )
     stats = network.stats
     return SystemMetrics(
         timestamp_counters={
@@ -134,6 +142,14 @@ def aggregate_metrics(
         retransmit_log_compacted=stats.retransmit_log_compacted,
         retransmit_log_compacted_bytes=stats.retransmit_log_compacted_bytes,
         retransmit_log_truncated=stats.retransmit_log_truncated,
+        visible_count=visible_count,
+        mean_visible_lag=(
+            visible_lag_total / visible_count if visible_count else 0.0
+        ),
+        max_visible_lag=max(
+            (r.metrics.visible_lag_max for r in replicas.values()),
+            default=0.0,
+        ),
     )
 
 
@@ -324,6 +340,68 @@ class DSMSystem:
         )
 
     # ------------------------------------------------------------------
+    # Global stabilization (visibility-cut policies, repro.gst)
+    # ------------------------------------------------------------------
+    @property
+    def stabilizing(self) -> bool:
+        """True when any replica runs a visibility-cut (GST) policy."""
+        return any(r.stabilizing for r in self.replicas.values())
+
+    def stabilize_all(self) -> None:
+        """Run one stabilization round on every live replica.
+
+        Each replica refreshes its local stable time and gossips its
+        table to its share-graph neighbours; the frames are delivered by
+        the next :meth:`run`.
+        """
+        for replica in self.replicas.values():
+            replica.stabilize()
+
+    def schedule_stabilize(self, time: float) -> None:
+        """Schedule one cluster-wide stabilization round at ``time``.
+
+        Benches use periodic rounds to measure visibility lag mid-run;
+        correctness only needs :meth:`settle_visibility` at the end.
+        """
+        self.simulator.schedule_at(time, self.stabilize_all)
+
+    def settle_visibility(self, max_rounds: Optional[int] = None) -> int:
+        """Drive stabilization rounds until every update is visible.
+
+        Alternates "run the network dry" with cluster-wide stabilize
+        rounds until no replica holds applied-but-unstable updates.  The
+        protocol needs O(diameter) rounds for ``heard`` bounds and the
+        min-gossip table to converge; the default cap of ``3 n + 5``
+        rounds is far above that and turns a liveness bug into a loud
+        :class:`~repro.errors.ProtocolError` instead of a hang.  Returns
+        the number of rounds driven (0 for non-stabilizing policies).
+        """
+        self.run()
+        if not self.stabilizing:
+            return 0
+        if max_rounds is None:
+            max_rounds = 3 * len(self.replicas) + 5
+        rounds = 0
+        while any(
+            r.unstable_count > 0 and not r.crashed
+            for r in self.replicas.values()
+        ):
+            if rounds >= max_rounds:
+                stuck = {
+                    str(rid): r.unstable_count
+                    for rid, r in self.replicas.items()
+                    if r.unstable_count
+                }
+                raise ProtocolError(
+                    f"visibility did not settle in {max_rounds} rounds; "
+                    f"unstable: {stuck}"
+                )
+            self.stabilize_all()
+            self.run()
+            rounds += 1
+        return rounds
+
+    # ------------------------------------------------------------------
     # Fault injection (crash / recovery)
     # ------------------------------------------------------------------
     def crash(self, replica_id: ReplicaId) -> None:
@@ -348,17 +426,30 @@ class DSMSystem:
     # ------------------------------------------------------------------
     # Verification & metrics
     # ------------------------------------------------------------------
-    def check(self, require_liveness: bool = True):
+    def check(
+        self,
+        require_liveness: bool = True,
+        visibility: Optional[bool] = None,
+    ) -> Any:
         """Verify replica-centric causal consistency (Definition 2).
 
         Returns a :class:`repro.checker.CheckResult`.  Liveness is only
         meaningful once the run has quiesced; pass
-        ``require_liveness=False`` mid-run.
+        ``require_liveness=False`` mid-run.  ``visibility`` defaults to
+        whether the system runs a stabilizing (GST) policy: such runs
+        are judged at visibility events (where their causal guarantee
+        lives), others at applies.  For stabilizing runs liveness
+        additionally needs :meth:`settle_visibility` first.
         """
         from repro.checker import check_history
 
+        if visibility is None:
+            visibility = self.stabilizing
         return check_history(
-            self.history, self.graph, require_liveness=require_liveness
+            self.history,
+            self.graph,
+            require_liveness=require_liveness,
+            visibility=visibility,
         )
 
     def metrics(self) -> SystemMetrics:

@@ -208,7 +208,49 @@ class Timestamp:
 
 
 class TimestampPolicy(Protocol):
-    """The three open choices of the algorithm prototype (Section 2.1)."""
+    """The three open choices of the algorithm prototype (Section 2.1).
+
+    This is the *required* surface: representation-initialisation,
+    ``advance``, ``merge``, the delivery predicate ``J``, and a metadata
+    size.  Around it sits an *extended* policy-layer surface the engine,
+    wire codec, and adapters discover via ``getattr`` -- every hook is
+    optional, and a policy that omits one gets the documented fallback:
+
+    Identification
+        ``policy_tag: str`` -- short stable name used by the registry,
+        the versioned wire frames
+        (:data:`repro.wire.codec.TIMESTAMP_POLICY_TAGS`), and the bench
+        rows.  Fallback: ``"edge"`` (the paper's algorithm).
+
+    Hot-path deltas
+        ``advance_delta(ts, register)`` / ``merge_delta(ts, k, T)``
+        return ``(new_ts, changed_keys | None)`` so the delivery engine's
+        wake sets cost no second scan.  Fallback: plain
+        ``advance``/``merge`` plus :meth:`Timestamp.diff_keys`.
+
+    Seq-indexed delivery
+        ``exact_sender_fifo: bool`` plus ``sender_seq(k, T)`` /
+        ``next_seq(ts, k)`` let the engine index each sender's queue by
+        its strictly-increasing sender-edge counter.  Fallback: linear
+        queue scans.  ``readiness_deps(k, T)`` names the local counters
+        ``J`` reads (wake-set precision); fallback: wake on any change.
+
+    Stabilization (the GST layer, :mod:`repro.gst`)
+        ``stabilizing: bool`` -- when true the engine splits *applied*
+        from *visible* state: updates apply immediately (FIFO per
+        sender) but reads serve the global-stabilization cut.  A
+        stabilizing policy must also provide ``update_timestamp(ts,
+        dst)`` (the compact per-destination wire timestamp attached to
+        outgoing updates), ``own_clock(ts)`` (the scalar Lamport
+        clock), ``stabilization_clock(src, T)`` (the sender clock
+        carried by a received update), ``merge_clock(ts, clock)`` (fold
+        a clock heard via a stabilize frame into the local timestamp)
+        and ``sent_count(ts, dst)`` (how many updates this replica has
+        dispatched toward ``dst`` -- the bound that personalizes each
+        stabilize frame).
+        Fallback: ``stabilizing = False`` -- reads serve applied state
+        directly and no stabilize traffic is emitted.
+    """
 
     replica_id: ReplicaId
 
@@ -272,6 +314,12 @@ class EdgeIndexedPolicy:
     #: ``e_ki`` (``tau[e_ki] == T[e_ki] - 1``), so the delivery engine may
     #: index each sender's queue by that counter and skip linear scans.
     exact_sender_fifo = True
+
+    #: Registry / wire identity (see :class:`TimestampPolicy` docs).
+    policy_tag = "edge"
+
+    #: Edge-indexed delivery is causal at apply time: no visibility cut.
+    stabilizing = False
 
     def __init__(
         self,

@@ -610,6 +610,7 @@ def run_bench(
     compare: bool = False,
     repeats: int = 3,
     batched: bool = False,
+    policies: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the scenario matrix; return the JSON-serializable document.
 
@@ -618,8 +619,25 @@ def run_bench(
     section plus per-scenario ``speedup`` ratios.  With ``batched`` each
     scenario additionally runs with the vectorized kernels and its flush
     window on (a ``batched`` section plus ``speedup_batched`` ratios
-    against the same document's ``optimized`` rows).
+    against the same document's ``optimized`` rows).  With ``policies``
+    the document gains a ``policies`` section comparing the named
+    timestamp policies (``edge``/``gst``/``adaptive``) over the
+    :data:`POLICY_BENCH` matrix; when ``policies`` is given the main
+    scenario matrix only runs for explicitly-named scenarios.
     """
+    if policies is not None and names is None:
+        # ``bench --policy gst`` prices the policy matrix alone -- the
+        # main matrix still runs when scenarios are named explicitly.
+        doc: Dict[str, object] = {
+            "schema": SCHEMA,
+            "mode": "quick" if quick else "full",
+            "timer": "process_time",
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "optimized": {},
+            "policies": run_policy_bench(policies=policies, quick=quick),
+        }
+        return doc
     wanted = list(names) if names else list(SCENARIOS)
     unknown = [n for n in wanted if n not in SCENARIOS]
     if unknown:
@@ -677,7 +695,201 @@ def run_bench(
     if batched:
         doc["batched"] = batched_rows
         doc["speedup_batched"] = speedup_batched
+    if policies is not None:
+        overlap = [n for n in wanted if n in POLICY_BENCH]
+        doc["policies"] = run_policy_bench(
+            names=overlap or None, policies=policies, quick=quick
+        )
     return doc
+
+
+# ----------------------------------------------------------------------
+# Per-policy rows: metadata bytes/op vs visibility lag (edge vs GST)
+# ----------------------------------------------------------------------
+#: The policy-comparison matrix: the topology families the adaptive
+#: choice must discriminate (trees and cycles where edge-indexed wins
+#: outright, dense graphs where GST's two-counter updates win bytes, and
+#: a shard-plan-derived placement).  Each entry is ``(placements,
+#: writes, rate, quick_writes)``; all rows run on the simulator so the
+#: byte counts and visibility lags are seeded and deterministic.
+POLICY_BENCH: Dict[str, tuple] = {
+    "tree-16": (lambda: tree_placements(16), 1200, 20.0, 300),
+    "ring-12": (lambda: ring_placements(12), 1200, 20.0, 300),
+    "clique-8": (lambda: clique_placements(8), 800, 40.0, 200),
+    "dense-24": (lambda: random_placements(24, 80, 10, seed=11), 1800, 150.0, 600),
+    "small-shard": (
+        lambda: _social_plan(
+            replicas=16,
+            group_size=4,
+            shared_per_group=4,
+            replication=2,
+            cross=2,
+            seed=3,
+        ).placements(),  # type: ignore[attr-defined]
+        1200,
+        80.0,
+        300,
+    ),
+}
+
+POLICY_TAGS = ("edge", "gst", "adaptive")
+
+
+def _policy_factory(tag: str) -> Optional[PolicyFactory]:
+    if tag == "edge":
+        return None  # the system default (EdgeIndexedPolicy)
+    if tag == "gst":
+        from repro.gst import GstPolicy
+
+        return GstPolicy
+    if tag == "adaptive":
+        from repro.gst.adaptive import AdaptivePolicy
+
+        return AdaptivePolicy
+    raise KeyError(f"unknown policy {tag!r}; available: {POLICY_TAGS}")
+
+
+def run_policy_scenario(
+    name: str, policy: str, quick: bool = False, verify: bool = True
+) -> Dict[str, object]:
+    """One (scenario, policy) row of the policy-comparison matrix.
+
+    Stabilizing policies get periodic stabilization rounds scheduled
+    through the run (so visibility lag reflects the gossip cadence, not
+    one final settle), then converge via ``settle_visibility``; the
+    causal check runs in visibility mode automatically.
+    """
+    try:
+        placements_fn, writes_full, rate, quick_writes = POLICY_BENCH[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy scenario {name!r}; "
+            f"available: {sorted(POLICY_BENCH)}"
+        ) from None
+    writes = quick_writes if quick else writes_full
+    system = DSMSystem(
+        placements_fn(), seed=7, policy_factory=_policy_factory(policy)
+    )
+    stream = uniform_writes(system.graph, writes, rate=rate, seed=13)
+    horizon = writes / rate
+    if system.stabilizing:
+        # ~24 rounds across the run: frequent enough that the cut tracks
+        # the write frontier, sparse enough that stabilize traffic stays
+        # a small fraction of the per-update metadata.
+        interval = max(1.0, horizon / 24.0)
+        t = interval
+        while t <= horizon + 2 * interval:
+            system.schedule_stabilize(t)
+            t += interval
+    start = time.process_time()
+    run_workload(system, stream)
+    rounds = system.settle_visibility() if system.stabilizing else 0
+    wall = max(time.process_time() - start, 1e-9)
+    if verify:
+        report = system.check()
+        if not report.ok:
+            raise AssertionError(
+                f"policy bench {name}/{policy} violated causal "
+                f"consistency: {report}"
+            )
+    metrics = system.metrics()
+    return {
+        "policy": policy,
+        "writes": writes,
+        "replicas": len(system.graph),
+        "wall_s": round(wall, 6),
+        "ops_per_s": round(writes / wall, 1),
+        "messages": metrics.messages_sent,
+        "metadata_bytes_per_op": round(
+            metrics.metadata_bytes_sent / writes, 1
+        ),
+        "metadata_counters_per_op": round(
+            metrics.metadata_counters_sent / writes, 1
+        ),
+        "mean_visibility_lag": round(metrics.mean_visible_lag, 3),
+        "max_visibility_lag": round(metrics.max_visible_lag, 3),
+        "settle_rounds": rounds,
+    }
+
+
+def run_policy_bench(
+    names: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """The ``policies`` document section: per-scenario, per-policy rows.
+
+    When both ``edge`` and ``gst`` ran for a scenario, the entry also
+    records the measured ``bytes_winner``, the ``predicted`` tag from
+    :func:`repro.gst.adaptive.choose_policy_tag`, and whether they
+    agree (``adaptive_matches`` -- the crossover claim the tests gate).
+    """
+    from repro.core.share_graph import ShareGraph
+    from repro.gst.adaptive import choose_policy_tag
+
+    wanted = list(names) if names else list(POLICY_BENCH)
+    unknown = [n for n in wanted if n not in POLICY_BENCH]
+    if unknown:
+        raise KeyError(
+            f"unknown policy scenarios {unknown}; "
+            f"available: {sorted(POLICY_BENCH)}"
+        )
+    tags = list(policies) if policies else list(POLICY_TAGS)
+    for tag in tags:
+        _policy_factory(tag)  # validate before the first slow run
+    section: Dict[str, object] = {}
+    for name in wanted:
+        entry: Dict[str, object] = {}
+        for tag in tags:
+            entry[tag] = run_policy_scenario(name, tag, quick=quick)
+        graph = ShareGraph(POLICY_BENCH[name][0]())
+        entry["predicted"] = choose_policy_tag(graph)
+        edge_row = entry.get("edge")
+        gst_row = entry.get("gst")
+        if isinstance(edge_row, dict) and isinstance(gst_row, dict):
+            edge_bytes = float(edge_row["metadata_bytes_per_op"])
+            gst_bytes = float(gst_row["metadata_bytes_per_op"])
+            winner = "gst" if gst_bytes < edge_bytes else "edge"
+            entry["bytes_winner"] = winner
+            entry["adaptive_matches"] = entry["predicted"] == winner
+        section[name] = entry
+    return section
+
+
+def check_policy_invariants(doc: Mapping[str, object]) -> List[str]:
+    """The deterministic gates over a document's ``policies`` section.
+
+    * On ``dense-24`` GST must beat edge-indexed on metadata bytes/op
+      (the headline trade of arXiv:1803.05575's scalar timestamps).
+    * On every scenario where both ran, edge-indexed must beat GST on
+      visibility lag (its updates are visible at apply; GST defers
+      visibility to the stabilization cut, so its lag is positive).
+
+    Returns failure strings (empty = all invariants hold).
+    """
+    failures: List[str] = []
+    policies: Mapping[str, Mapping[str, object]] = doc.get("policies", {})  # type: ignore[assignment]
+    for name, entry in policies.items():
+        edge_row = entry.get("edge")
+        gst_row = entry.get("gst")
+        if not isinstance(edge_row, dict) or not isinstance(gst_row, dict):
+            continue
+        edge_lag = float(edge_row["mean_visibility_lag"])
+        gst_lag = float(gst_row["mean_visibility_lag"])
+        if not edge_lag < gst_lag:
+            failures.append(
+                f"{name}: edge visibility lag {edge_lag} not below "
+                f"gst {gst_lag}"
+            )
+        if name == "dense-24":
+            edge_bytes = float(edge_row["metadata_bytes_per_op"])
+            gst_bytes = float(gst_row["metadata_bytes_per_op"])
+            if not gst_bytes < edge_bytes:
+                failures.append(
+                    f"dense-24: gst metadata {gst_bytes} B/op not below "
+                    f"edge {edge_bytes} B/op"
+                )
+    return failures
 
 
 @dataclass
@@ -808,6 +1020,15 @@ def check_regression(
                         f"(committed "
                         f"{float(ref[name]['metadata_ratio']):.1f})"
                     )
+    if "policies" in current:
+        # The policy section's byte counts and lags are seeded, so its
+        # invariants gate deterministically on the fresh document alone.
+        policy_failures = check_policy_invariants(current)
+        for failure in policy_failures:
+            report.lines.append(f"  policy invariant: {failure}")
+        report.failures.extend(policy_failures)
+        if not policy_failures and current["policies"]:
+            report.lines.append("  policy invariants: ok")
     return report
 
 
@@ -856,6 +1077,32 @@ def render(doc: Mapping[str, object]) -> str:
                 f" ({row.get('metadata_ratio', '-')}x)"
             )
         lines.append(line)
+    policies: Mapping[str, Mapping[str, object]] = doc.get("policies", {})  # type: ignore[assignment]
+    if policies:
+        lines.append("")
+        lines.append("timestamp policies (metadata bytes/op vs visibility lag)")
+        lines.append(
+            f"{'scenario':<16} {'policy':<9} {'ops/s':>9} {'md B/op':>9} "
+            f"{'counters':>9} {'lag mean':>9} {'lag max':>9}"
+        )
+        for name, entry in policies.items():
+            for tag in POLICY_TAGS:
+                row = entry.get(tag)
+                if not isinstance(row, dict):
+                    continue
+                lines.append(
+                    f"{name:<16} {tag:<9} {row['ops_per_s']:>9.0f} "
+                    f"{row['metadata_bytes_per_op']:>9} "
+                    f"{row['metadata_counters_per_op']:>9} "
+                    f"{row['mean_visibility_lag']:>9} "
+                    f"{row['max_visibility_lag']:>9}"
+                )
+            if "bytes_winner" in entry:
+                match = "ok" if entry.get("adaptive_matches") else "MISMATCH"
+                lines.append(
+                    f"{'':<16} predicted {entry['predicted']} / measured "
+                    f"bytes winner {entry['bytes_winner']} -> {match}"
+                )
     return "\n".join(lines)
 
 

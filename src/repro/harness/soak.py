@@ -49,11 +49,18 @@ from repro.errors import (
 )
 from repro.harness.process_chaos import audit_cluster, ring_placements
 from repro.harness.report import JsonlWriter, Table
+from repro.shard.plan import social_shard_plan
 from repro.tcp.client import ClusterClient, percentile
 from repro.tcp.cluster import ProcessCluster
 from repro.tcp.runtime import TcpConfig
 
-SCENARIOS = ("steady", "crash-storm", "corrupt-wal", "overload")
+SCENARIOS = (
+    "steady",
+    "crash-storm",
+    "corrupt-wal",
+    "overload",
+    "shard-storm",
+)
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +168,43 @@ class SoakSpec:
     timeline: Optional[Tuple[FaultAction, ...]] = None
 
 
+def shard_soak_placements(
+    replicas: int, seed: int = 0
+) -> Dict[str, List[str]]:
+    """A sharded-deployment topology for soaking: two-plus social-shard
+    communities with overlay registers, instead of the default ring.
+
+    Derived from :func:`repro.shard.plan.social_shard_plan` -- the same
+    planner behind :class:`~repro.shard.runtime.ShardedSystem` -- scaled
+    down to process-cluster size (``replicas`` rounds up to a multiple
+    of the community size, minimum two communities of four).
+    """
+    group_size = 4
+    count = max(
+        2 * group_size,
+        ((replicas + group_size - 1) // group_size) * group_size,
+    )
+    plan = social_shard_plan(
+        replicas=count,
+        group_size=group_size,
+        shared_per_group=4,
+        replication=2,
+        cross=2,
+        seed=seed,
+    )
+    return {
+        f"r{rid}": sorted(str(x) for x in regs)
+        for rid, regs in plan.placements().items()
+    }
+
+
+def soak_placements(spec: SoakSpec) -> Dict[str, List[str]]:
+    """The topology of one soak run (ring, or a shard plan)."""
+    if spec.scenario == "shard-storm":
+        return shard_soak_placements(spec.replicas, spec.seed)
+    return ring_placements(spec.replicas)
+
+
 def scenario_config(scenario: str, base: Optional[TcpConfig]) -> TcpConfig:
     """Per-scenario TcpConfig defaults (a user-supplied config wins)."""
     if base is not None:
@@ -182,11 +226,37 @@ def timeline_for(scenario: str, spec: SoakSpec) -> Tuple[FaultAction, ...]:
     if spec.timeline is not None:
         return spec.timeline
     rng = random.Random(f"{spec.seed}:{scenario}:timeline")
-    names = sorted(ring_placements(spec.replicas))
+    names = sorted(soak_placements(spec))
     horizon = spec.duration * 0.7
     actions: List[FaultAction] = []
     if scenario == "steady":
         return ()
+    if scenario == "shard-storm":
+        # The crash-storm wave over a sharded deployment: rolling
+        # kill+restart across communities (victims alternate between
+        # groups so the overlay path keeps losing hops), plus one
+        # partition window on a hub-community member.
+        step = max(5.0, spec.duration / 8.0)
+        t = step
+        index = rng.randrange(len(names))
+        stride = max(1, len(names) // 2 + 1)  # hop across communities
+        while t < horizon:
+            victim = names[index % len(names)]
+            actions.append(
+                FaultAction(round(t, 2), "restart", victim, detail="shard")
+            )
+            index += stride
+            t += step * (0.75 + rng.random() * 0.5)
+        if spec.duration >= 30:
+            actions.append(
+                FaultAction(
+                    round(horizon * 0.5, 2),
+                    "partition",
+                    names[0],
+                    duration=min(4.0, spec.duration * 0.08),
+                )
+            )
+        return tuple(sorted(actions, key=lambda a: a.time))
     if scenario == "crash-storm":
         # Rolling kill+restart waves across the ring, ~6s apart.
         step = max(5.0, spec.duration / 10.0)
@@ -606,7 +676,7 @@ async def run_soak(
     ``fault``, ``sample``, ``summary``); the returned
     :class:`SoakReport` holds the aggregates and the audit verdict.
     """
-    placements = ring_placements(spec.replicas)
+    placements = soak_placements(spec)
     graph = ShareGraph({r: set(x) for r, x in placements.items()})
     config = scenario_config(spec.scenario, spec.config)
     timeline = timeline_for(spec.scenario, spec)

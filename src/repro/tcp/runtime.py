@@ -49,9 +49,10 @@ from repro.core.engine import (
     Send,
 )
 from repro.core.share_graph import ShareGraph
-from repro.core.timestamp import EdgeIndexedPolicy
+from repro.core.timestamp import EdgeIndexedPolicy, TimestampPolicy
 from repro.core.timestamp_graph import all_timestamp_graphs
 from repro.errors import ConfigurationError, ProtocolError, WireDecodeError
+from repro.gst.policy import GstPolicy, gst_wire_order
 from repro.tcp.framing import (
     Frame,
     FrameType,
@@ -74,8 +75,10 @@ from repro.tcp.wal import (
 from repro.types import RegisterName, ReplicaId, Update, UpdateId
 from repro.wire.codec import (
     canonical_edge_order,
+    decode_stabilize_frame,
     decode_update,
     decode_value,
+    encode_stabilize_frame,
     encode_update,
     encode_value,
 )
@@ -110,6 +113,12 @@ class TcpConfig:
     #: Use the numpy-vectorized timestamp kernels (byte-identical to the
     #: scalar ones; silently scalar when numpy is not installed).
     vectorized: bool = False
+    #: Timestamp policy: ``"edge"`` (paper's edge-indexed vectors, the
+    #: default and the legacy-compatible wire format) or ``"gst"`` (the
+    #: global-stabilization protocol of arXiv:1803.05575 -- scalar
+    #: clocks on the wire, visibility deferred to the global cut, with
+    #: stabilization tables piggybacked on heartbeats).
+    policy: str = "edge"
     #: Adaptive overload shedding: when the instantaneous backlog
     #: (pending updates + largest per-peer unacked outbox) exceeds this,
     #: client writes with priority <= 0 are refused with a typed
@@ -309,7 +318,12 @@ class PeerLink:
                 )
                 self.abort()
             else:
-                self.send_bytes(encode_frame(FrameType.HEARTBEAT))
+                # Stabilizing policies piggyback their gossip here: the
+                # payload is this replica's personalized stabilize frame
+                # (empty for edge-indexed mode -- the legacy wire bytes
+                # are unchanged).
+                payload = self.server._stabilize_payload(self.peer)
+                self.send_bytes(encode_frame(FrameType.HEARTBEAT, payload))
 
 
 @dataclass
@@ -383,28 +397,40 @@ class TcpReplicaServer:
         self._rng = random.Random(f"{seed}:{replica_id}")
         graphs = all_timestamp_graphs(self.graph)
         self._edges = graphs[replica_id].edges
-        self._orders = {
-            rid: canonical_edge_order(graphs[rid].edges)
-            for rid in self.graph.replicas
-        }
+        if self.config.policy == "gst":
+            # GST wire timestamps are personalized per channel: the
+            # update i ships to j carries exactly [(clock, i), (i, j)].
+            # Decode orders are keyed by the *sender* (everything we
+            # receive from ``rid`` targets us); encode orders by the
+            # *destination*.
+            self._orders = {
+                rid: gst_wire_order(rid, replica_id)
+                for rid in self.graph.replicas
+            }
+            self._enc_orders = {
+                peer: gst_wire_order(replica_id, peer)
+                for peer in self.graph.neighbors(replica_id)
+            }
+        elif self.config.policy == "edge":
+            self._orders = {
+                rid: canonical_edge_order(graphs[rid].edges)
+                for rid in self.graph.replicas
+            }
+            self._enc_orders = {
+                peer: self._orders[replica_id]
+                for peer in self.graph.neighbors(replica_id)
+            }
+        else:
+            raise ConfigurationError(
+                f"unknown timestamp policy {self.config.policy!r} "
+                "(expected 'edge' or 'gst')"
+            )
         self._replica_by_name = {str(r): r for r in self.graph.replicas}
         self._register_by_name = {str(x): x for x in self.graph.registers}
-        if self.config.vectorized:
-            from repro.optimizations.vectorized import (
-                VectorizedEdgeIndexedPolicy,
-            )
-
-            policy: EdgeIndexedPolicy = VectorizedEdgeIndexedPolicy(
-                self.graph, replica_id, edges=graphs[replica_id].edges
-            )
-        else:
-            policy = EdgeIndexedPolicy(
-                self.graph, replica_id, edges=graphs[replica_id].edges
-            )
         self.core = ProtocolCore(
             replica_id,
             self.graph,
-            policy,
+            self._make_policy(),
             self._on_effect,
             clock=time.time,
             record_history=True,
@@ -456,6 +482,26 @@ class TcpReplicaServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
         self._on_apply: Optional[Callable[..., None]] = None
+
+    def _make_policy(self) -> TimestampPolicy:
+        """A fresh policy instance per the configured timestamp mode.
+
+        Used both for the live core and for the throwaway cores that
+        replay the WAL (deep resync); both must agree on wire layout.
+        """
+        if self.config.policy == "gst":
+            return GstPolicy(self.graph, self.replica_id)
+        if self.config.vectorized:
+            from repro.optimizations.vectorized import (
+                VectorizedEdgeIndexedPolicy,
+            )
+
+            return VectorizedEdgeIndexedPolicy(
+                self.graph, self.replica_id, edges=self._edges
+            )
+        return EdgeIndexedPolicy(
+            self.graph, self.replica_id, edges=self._edges
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -672,13 +718,13 @@ class TcpReplicaServer:
                 chanseq = eff.update.timestamp.get((me, peer))
                 if chanseq is not None:
                     collected[chanseq] = encode_update(
-                        eff.update, self._orders[me]
+                        eff.update, self._enc_orders[peer]
                     )
 
         core = ProtocolCore(
             me,
             self.graph,
-            EdgeIndexedPolicy(self.graph, me, edges=self._edges),
+            self._make_policy(),
             collect,
             clock=time.time,
             record_history=False,
@@ -771,7 +817,7 @@ class TcpReplicaServer:
             chanseq = eff.update.timestamp.get((self.replica_id, eff.dst))
             if chanseq is None:  # pragma: no cover - incident edges exist
                 raise ProtocolError(f"no out-edge toward {eff.dst!r}")
-            encoded = encode_update(eff.update, self._orders[self.replica_id])
+            encoded = encode_update(eff.update, self._enc_orders[eff.dst])
             outbox = self._outbox[eff.dst]
             outbox[chanseq] = encoded
             if len(outbox) > self.stats.outbox_high_water:
@@ -798,8 +844,11 @@ class TcpReplicaServer:
                         eff.time,
                         seq=eff.uid.seq,
                     )
-            else:
+            elif eff.kind == "apply":
                 self._apply_uid = eff.uid
+            # "visible" records need no durability action: after a
+            # restart the WAL replay rebuilds the unstable set and the
+            # cut re-converges from the heartbeat gossip.
         elif cls is ConfirmApplied:
             if self._replaying:
                 return
@@ -961,7 +1010,10 @@ class TcpReplicaServer:
                 elif frame.type is FrameType.ECHO:
                     self._on_echo(frame.json())
                 elif frame.type is FrameType.HEARTBEAT:
-                    pass  # last_heard update above is the whole point
+                    # last_heard already refreshed above; a non-empty
+                    # payload is a piggybacked stabilize frame.
+                    if frame.payload:
+                        self._on_stabilize(link.peer, frame.payload)
                 elif frame.type is FrameType.BYE:
                     link.suspected = False  # clean goodbye, not a failure
                     return got_hello
@@ -1037,6 +1089,19 @@ class TcpReplicaServer:
                     link.send_bytes(
                         uvarint_frame(FrameType.ACK, self.recv_cursor(peer))
                     )
+
+    def _stabilize_payload(self, peer: ReplicaId) -> bytes:
+        """Heartbeat payload toward ``peer``: the personalized stabilize
+        frame, or empty when the policy has no stabilization clock."""
+        frame = self.core.stabilize_frame_for(peer)
+        if frame is None:
+            return b""
+        return encode_stabilize_frame(frame)
+
+    def _on_stabilize(self, src: ReplicaId, payload: bytes) -> None:
+        """Fold a heartbeat-piggybacked stabilize frame into the core."""
+        frame = decode_stabilize_frame(payload, src, self._replica_by_name)
+        self.core.receive_stabilize(src, frame)
 
     def _decode_update(self, src: ReplicaId, raw: bytes) -> Update:
         update = decode_update(raw, src, self._orders[src])
@@ -1398,3 +1463,36 @@ class TcpCluster:
             rid: dict(server.core.store)
             for rid, server in self.servers.items()
         }
+
+    def stable(self) -> bool:
+        """True when no running replica holds applied-but-invisible
+        updates (trivially true for non-stabilizing policies)."""
+        return all(
+            server.core.unstable_count == 0
+            for server in self.servers.values()
+            if server.running
+        )
+
+    async def settle_visibility(self, timeout: float = 30.0) -> None:
+        """Settle, then wait for the heartbeat-carried stabilization
+        gossip to advance every replica's cut past everything applied."""
+        await self.settle(timeout)
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while not self.stable():
+            if loop.time() > deadline:
+                raise ConfigurationError(
+                    "tcp cluster visibility cut failed to advance within "
+                    f"{timeout}s: "
+                    f"{ {str(r): s.core.unstable_count for r, s in self.servers.items()} }"
+                )
+            await asyncio.sleep(0.02)
+
+    def visible_stores(self) -> Dict[ReplicaId, Dict[RegisterName, Any]]:
+        """Per-replica reader-facing stores (the visible store under a
+        stabilizing policy, the applied store otherwise)."""
+        out: Dict[ReplicaId, Dict[RegisterName, Any]] = {}
+        for rid, server in self.servers.items():
+            visible = server.core.visible_store
+            out[rid] = dict(server.core.store if visible is None else visible)
+        return out

@@ -12,7 +12,10 @@ This is deliberately schema-light: the experiments only need faithful
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.core.engine.stabilization import StabilizeFrame
 
 from repro.core.timestamp import Timestamp
 from repro.errors import ProtocolError, WireDecodeError
@@ -315,3 +318,118 @@ def decode_update_batch(
     if offset != len(data):
         raise WireDecodeError("trailing bytes in update batch")
     return tuple(updates)
+
+
+# ----------------------------------------------------------------------
+# Versioned, policy-tagged timestamp frames (the policy layer's codec)
+# ----------------------------------------------------------------------
+#: Version byte of the tagged-timestamp framing below.
+TIMESTAMP_FRAME_VERSION = 1
+
+#: Wire identity of each registered timestamp policy.  Values are part
+#: of the protocol: peers negotiate edge orders out of band per policy,
+#: and the tag byte says which policy's order a frame was encoded
+#: against, so edge-indexed and GST metadata share one framing layer.
+TIMESTAMP_POLICY_TAGS: Dict[str, int] = {"edge": 0, "vc": 1, "gst": 2}
+
+_TAG_TO_POLICY = {tag: name for name, tag in TIMESTAMP_POLICY_TAGS.items()}
+
+
+def encode_tagged_timestamp(
+    policy_tag: str, ts: Timestamp, order: Sequence[Edge] = None
+) -> bytes:
+    """Encode ``version byte | policy tag byte | plain timestamp``.
+
+    The payload is exactly :func:`encode_timestamp`, so a tagged frame
+    costs two bytes over the legacy form and lets one channel carry
+    timestamps from different policies unambiguously.
+    """
+    tag = TIMESTAMP_POLICY_TAGS.get(policy_tag)
+    if tag is None:
+        raise ProtocolError(f"unregistered timestamp policy {policy_tag!r}")
+    return (
+        bytes([TIMESTAMP_FRAME_VERSION, tag]) + encode_timestamp(ts, order)
+    )
+
+
+def decode_tagged_timestamp(
+    data: bytes, orders: Mapping[str, Sequence[Edge]], offset: int = 0
+) -> Tuple[str, Timestamp, int]:
+    """Decode a tagged frame against per-policy edge orders.
+
+    ``orders`` maps policy names (``"edge"``/``"vc"``/``"gst"``) to the
+    edge order that policy's timestamps use on this channel.  Returns
+    ``(policy_name, timestamp, next_offset)``.
+    """
+    if len(data) - offset < 2:
+        raise WireDecodeError("truncated tagged timestamp header")
+    version = data[offset]
+    if version != TIMESTAMP_FRAME_VERSION:
+        raise WireDecodeError(
+            f"unsupported timestamp frame version {version}"
+        )
+    name = _TAG_TO_POLICY.get(data[offset + 1])
+    if name is None:
+        raise WireDecodeError(f"unknown timestamp policy tag {data[offset + 1]}")
+    order = orders.get(name)
+    if order is None:
+        raise WireDecodeError(
+            f"no edge order negotiated for policy {name!r}"
+        )
+    ts, offset = decode_timestamp(data, order, offset + 2)
+    return name, ts, offset
+
+
+# ----------------------------------------------------------------------
+# Stabilize frames (the GST policy's periodic min-gossip traffic)
+# ----------------------------------------------------------------------
+def encode_stabilize_frame(frame: "StabilizeFrame") -> bytes:
+    """Encode one stabilization frame for a channel with a known issuer.
+
+    Layout: clock varint | sent varint | entry count |
+    (replica str, lst varint)*.  Replica identifiers travel as their
+    string forms, mapped back through the receiver's configuration
+    table, exactly like snapshot frontiers.
+    """
+    out = bytearray()
+    out += encode_uvarint(frame.clock)
+    out += encode_uvarint(frame.sent)
+    out += encode_uvarint(len(frame.entries))
+    for replica, lst in frame.entries:
+        out += _encode_value(str(replica))
+        out += encode_uvarint(lst)
+    return bytes(out)
+
+
+def decode_stabilize_frame(
+    data: bytes, issuer: Any, replica_names: Mapping[str, Any]
+) -> "StabilizeFrame":
+    """Decode a stabilization frame from a channel with a known issuer."""
+    from repro.core.engine.stabilization import StabilizeFrame
+
+    clock, offset = decode_uvarint(data, 0)
+    sent, offset = decode_uvarint(data, offset)
+    count, offset = decode_uvarint(data, offset)
+    _check_count(count, data, offset, "stabilize entry")
+    entries = []
+    for _ in range(count):
+        name, offset = _decode_value(data, offset)
+        lst, offset = decode_uvarint(data, offset)
+        if name not in replica_names:
+            raise WireDecodeError(
+                f"stabilize frame names unknown replica {name!r}"
+            )
+        entries.append((replica_names[name], lst))
+    if offset != len(data):
+        raise WireDecodeError("trailing bytes in stabilize frame")
+    return StabilizeFrame(issuer, clock, tuple(entries), sent)
+
+
+def stabilize_frame_wire_bytes(frame: "StabilizeFrame") -> int:
+    """Encoded size of a stabilize frame (transport accounting)."""
+    size = uvarint_size(frame.clock) + uvarint_size(frame.sent)
+    size += uvarint_size(len(frame.entries))
+    for replica, lst in frame.entries:
+        raw = len(str(replica).encode("utf-8"))
+        size += 1 + uvarint_size(raw) + raw + uvarint_size(lst)
+    return size
